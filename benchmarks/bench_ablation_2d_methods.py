@@ -1,0 +1,74 @@
+"""Ablation — the 2D methods catalogue: Cartesian GP vs Mondriaan vs
+fine-grain (paper sections 2.3 and 6).
+
+The paper positions its method against the other 2D families it cites:
+Mondriaan [33] (free recursive bisection) and fine-grain [12] (per-nonzero
+hypergraph, volume-optimal). Comparing against them is the paper's stated
+future work ("for problems that can be partitioned in serial") — these
+proxies can be, so we run it.
+
+Expected trade, asserted below:
+* fine-grain reaches the lowest communication volume;
+* only the Cartesian method obeys the pr + pc - 2 message bound;
+* at latency-dominated scale the message bound wins the modeled time.
+"""
+
+from conftest import write_result
+
+from repro.bench import format_table, run_spmv_cell
+from repro.generators import corpus_spec, load_corpus_matrix
+from repro.layouts import process_grid_shape
+from repro.layouts.finegrain import finegrain_layout
+from repro.layouts.mondriaan import mondriaan_layout
+from repro.runtime import CAB, DistSparseMatrix, comm_stats
+
+P = 16
+#: fine-grain partitions nnz vertices — keep it to the smallest matrix
+FINEGRAIN_MATRICES = ("rmat_22",)
+MATRICES = ("bter", "rmat_22")
+
+
+def test_ablation_2d_methods_catalogue(benchmark):
+    def run():
+        out = {}
+        for name in MATRICES:
+            A = load_corpus_matrix(name)
+            kind = corpus_spec(name).partitioner
+            cart = run_spmv_cell(A, name, f"2d-{kind}", P, validate=False, nested_from=256)
+            out[(name, cart.method)] = (cart.stats, cart.time100)
+            mon = DistSparseMatrix(A, mondriaan_layout(A, P, seed=0), CAB)
+            out[(name, "Mondriaan")] = (comm_stats(mon), mon.modeled_spmv_seconds(100))
+            if name in FINEGRAIN_MATRICES:
+                fg = DistSparseMatrix(A, finegrain_layout(A, P, seed=0), CAB)
+                out[(name, "Fine-grain")] = (comm_stats(fg), fg.modeled_spmv_seconds(100))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, method, stats.max_messages, stats.total_comm_volume,
+         f"{stats.nnz_imbalance:.2f}", f"{t100:.4f}")
+        for (name, method), (stats, t100) in sorted(results.items())
+    ]
+    table = format_table(["matrix", "method", "max msgs", "total CV", "imbal", "t100"], rows)
+    path = write_result("ablation_2d_methods", table)
+    print(f"\n[Ablation] 2D methods catalogue at p={P} (written to {path})\n{table}")
+
+    pr, pc = process_grid_shape(P)
+    bound = pr + pc - 2
+    for name in MATRICES:
+        cart_key = next(k for k in results if k[0] == name and k[1].startswith("2D-"))
+        cart_stats, cart_t = results[cart_key]
+        mon_stats, mon_t = results[(name, "Mondriaan")]
+        # only the Cartesian method carries the O(sqrt p) guarantee
+        assert cart_stats.max_messages <= bound
+        assert mon_stats.max_messages > bound
+        # and that wins the modeled time at this scale
+        assert cart_t < mon_t
+    for name in FINEGRAIN_MATRICES:
+        fg_stats, _ = results[(name, "Fine-grain")]
+        cart_key = next(k for k in results if k[0] == name and k[1].startswith("2D-"))
+        mon_stats, _ = results[(name, "Mondriaan")]
+        # fine-grain is the volume floor of the catalogue
+        assert fg_stats.total_comm_volume <= results[cart_key][0].total_comm_volume
+        assert fg_stats.total_comm_volume <= mon_stats.total_comm_volume
+        assert fg_stats.max_messages > bound

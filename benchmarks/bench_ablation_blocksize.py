@@ -1,0 +1,51 @@
+"""Ablation — Krylov-Schur block size (paper section 4).
+
+"Preliminary experiments indicate BKS is effective for scale-free graphs
+... We use block size one, as we did not observe any advantage of larger
+blocks on scale-free graphs." This bench reruns that preliminary
+experiment: the normalized-Laplacian eigensolve at block sizes 1, 2 and 4
+on two scale-free proxies, reporting matvecs and modeled solve time.
+"""
+
+from conftest import write_result
+
+from repro.bench import format_table
+from repro.bench.harness import layout_for
+from repro.generators import load_corpus_matrix
+from repro.graphs import normalized_laplacian
+from repro.runtime import CAB, DistSparseMatrix
+from repro.solvers import DistOperator, eigsh_dist
+
+MATRICES = ("hollywood-2009", "rmat_22")
+BLOCKS = (1, 2, 4)
+P = 16
+
+
+def test_ablation_block_size(benchmark):
+    def run():
+        out = {}
+        for name in MATRICES:
+            A = load_corpus_matrix(name)
+            Lhat = normalized_laplacian(A)
+            lay = layout_for(A, "2d-random", P)
+            for b in BLOCKS:
+                op = DistOperator(DistSparseMatrix(Lhat, lay, CAB))
+                res = eigsh_dist(op, k=10, tol=1e-3, which="LA", seed=7, block_size=b)
+                out[(name, b)] = (res, op.ledger.total())
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, b, res.matvecs, res.restarts, "yes" if res.converged else "no",
+         f"{t:.4f}")
+        for (name, b), (res, t) in sorted(results.items())
+    ]
+    table = format_table(["matrix", "block", "matvecs", "restarts", "converged", "solve t"], rows)
+    path = write_result("ablation_blocksize", table)
+    print(f"\n[Ablation] BKS block size at p={P} (written to {path})\n{table}")
+
+    for name in MATRICES:
+        assert all(results[(name, b)][0].converged for b in BLOCKS)
+        times = [results[(name, b)][1] for b in BLOCKS]
+        # the paper's choice: block size one is never beaten here
+        assert times[0] == min(times)

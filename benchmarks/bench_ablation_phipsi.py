@@ -1,0 +1,55 @@
+"""Ablation — the (phi, psi) orientation choice of section 3.1.
+
+Algorithm 2 admits two orientations (phi and psi may be interchanged); the
+paper proposes evaluating several 2D distributions from one partition and
+keeping the best, noting the evaluation cost is negligible next to
+partitioning. This bench quantifies that option across the corpus: the
+realised nonzero balance of fixed vs swapped vs pick-best, and the modeled
+SpMV time of each.
+"""
+
+from conftest import write_result
+
+from repro.bench import format_table, run_spmv_cell
+from repro.generators import corpus_names, corpus_spec, load_corpus_matrix
+
+P = 64
+
+
+def test_ablation_phi_psi_orientation(benchmark):
+    def run():
+        out = []
+        for name in corpus_names():
+            A = load_corpus_matrix(name)
+            method = f"2d-{corpus_spec(name).partitioner}"
+            recs = {
+                o: run_spmv_cell(A, name, method, P, validate=False,
+                                 nested_from=256, orientation=o)
+                for o in ("fixed", "swapped", "best")
+            }
+            out.append((name, recs))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, recs in results:
+        rows.append(
+            (name,)
+            + tuple(f"{recs[o].stats.nnz_imbalance:.2f}" for o in ("fixed", "swapped", "best"))
+            + tuple(f"{recs[o].time100:.4f}" for o in ("fixed", "swapped", "best"))
+        )
+    table = format_table(
+        ["matrix", "imb fixed", "imb swapped", "imb best",
+         "t100 fixed", "t100 swapped", "t100 best"],
+        rows,
+    )
+    path = write_result("ablation_phipsi", table)
+    print(f"\n[Ablation] phi/psi orientation at p={P} (written to {path})\n{table}")
+
+    for name, recs in results:
+        imb = {o: recs[o].stats.nnz_imbalance for o in ("fixed", "swapped", "best")}
+        # pick-best delivers exactly what it promises: the better balance
+        assert imb["best"] <= min(imb["fixed"], imb["swapped"]) + 1e-9
+        # and never a slower SpMV than the worse orientation
+        t = {o: recs[o].time100 for o in ("fixed", "swapped", "best")}
+        assert t["best"] <= max(t["fixed"], t["swapped"]) + 1e-12

@@ -1,0 +1,57 @@
+"""Figure 5 — strong scaling of 100 SpMV for three matrices.
+
+The paper plots com-orkut, cit-Patents and rmat_26 from 64 to 4096
+processes (ours: 4 to 256): all methods scale to mid-range p, then 1D
+flattens or turns upward while 2D keeps scaling; 2D-GP/HP sits lowest.
+"""
+
+from collections import defaultdict
+
+from conftest import write_result
+
+from repro.bench import format_table
+
+FIG5_MATRICES = ("com-orkut", "cit-Patents", "rmat_26")
+
+
+def test_fig5_strong_scaling(benchmark, table2_records):
+    def series():
+        out = defaultdict(dict)  # (matrix, method) -> {p: t}
+        for r in table2_records:
+            if r.matrix in FIG5_MATRICES:
+                out[(r.matrix, r.method)][r.nprocs] = r.time100
+        return dict(out)
+
+    data = benchmark(series)
+    procs = sorted({p for d in data.values() for p in d})
+    rows = [
+        (m, meth) + tuple(f"{d[p]:.4f}" for p in procs)
+        for (m, meth), d in sorted(data.items())
+    ]
+    table = format_table(["matrix", "method"] + [f"p={p}" for p in procs], rows)
+    path = write_result("fig5_strong_scaling", table)
+    print(f"\n[Figure 5] strong scaling series (written to {path})\n{table}")
+
+    for matrix in FIG5_MATRICES:
+        oned = data[(matrix, "1D-Block")]
+        twod = [d for (m, meth), d in data.items() if m == matrix and meth.startswith("2D-")]
+        # 1D loses scaling by the largest p...
+        assert oned[256] > oned[64]
+        # ...while every 2D layout still scales to p=64 and at worst sits on
+        # the latency floor at p=256 (our proxies are ~250x smaller than the
+        # paper's inputs, so the alpha floor arrives at 256 instead of past
+        # 4096; the ordering between 1D and 2D is the reproduced shape)
+        for d in twod:
+            assert d[64] < d[16]
+            assert d[256] < 1.6 * d[64]
+        # and the 2D-GP/HP curve is the lowest (or near-lowest) at the
+        # largest p — the slack is wider for rmat_26, where proxy-scale
+        # R-MAT leaves HP no volume to save (EXPERIMENTS.md section 11)
+        best_2dgp = min(
+            d[256] for (m, meth), d in data.items()
+            if m == matrix and meth in ("2D-GP", "2D-HP")
+        )
+        others = [d[256] for (m, meth), d in data.items()
+                  if m == matrix and meth not in ("2D-GP", "2D-HP")]
+        slack = 1.25 if matrix == "rmat_26" else 1.05
+        assert best_2dgp <= min(others) * slack

@@ -1,0 +1,45 @@
+"""Figure 6 — performance profile over all instances.
+
+Fraction of (matrix, p) instances on which each method's 100-SpMV time is
+within a factor x of the best method's. The paper reads off: 2D-GP/HP best
+on 97.5% of instances; 1D-GP/HP within 2x of best on only 40% of them.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.bench import format_table, fraction_best, performance_profile, profile_value_at
+
+XS = (1.0, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+
+def _norm_method(m: str) -> str:
+    return m.replace("-GP", "-GP/HP").replace("-HP", "-GP/HP") if m.endswith(("-GP", "-HP")) else m
+
+
+def test_fig6_performance_profile(benchmark, table2_records):
+    def compute():
+        return performance_profile(
+            table2_records, method_of=lambda r: _norm_method(r.method)
+        )
+
+    prof = benchmark(compute)
+    rows = [
+        (m,) + tuple(f"{profile_value_at(prof, m, x):.3f}" for x in XS)
+        for m in sorted(prof)
+    ]
+    table = format_table(["method"] + [f"x={x}" for x in XS], rows)
+    path = write_result("fig6_profile", table)
+    print(f"\n[Figure 6] performance profile (written to {path})\n{table}")
+
+    # 2D-GP/HP dominates the profile pointwise and is nearly always within
+    # 15% of the best method. The *strictly best* fraction is lower than
+    # the paper's 97.5% because proxy-scale margins compress to near-ties
+    # at small p (EXPERIMENTS.md section 0).
+    assert fraction_best(prof, "2D-GP/HP") >= 0.35
+    assert profile_value_at(prof, "2D-GP/HP", 1.15) > 0.85
+    # every other method's curve sits below 2D-GP/HP's everywhere
+    for m in prof:
+        if m != "2D-GP/HP":
+            for x in XS:
+                assert profile_value_at(prof, m, x) <= profile_value_at(prof, "2D-GP/HP", x) + 1e-9

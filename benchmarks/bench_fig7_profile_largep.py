@@ -1,0 +1,40 @@
+"""Figure 7 — performance profile restricted to large process counts.
+
+Same construction as Figure 6 but only instances with >= 1024 processes
+(ours: >= 64). The paper's point: at scale the 1D methods separate cleanly
+from the 2D methods — their profile curves shift far right.
+"""
+
+from conftest import write_result
+
+from repro.bench import format_table, performance_profile, profile_value_at
+
+LARGE_P = 64  # paper: 1024
+XS = (1.0, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+
+def _norm_method(m: str) -> str:
+    return m.replace("-GP", "-GP/HP").replace("-HP", "-GP/HP") if m.endswith(("-GP", "-HP")) else m
+
+
+def test_fig7_profile_large_p(benchmark, table2_records):
+    def compute():
+        large = [r for r in table2_records if r.nprocs >= LARGE_P]
+        return performance_profile(large, method_of=lambda r: _norm_method(r.method))
+
+    prof = benchmark(compute)
+    rows = [
+        (m,) + tuple(f"{profile_value_at(prof, m, x):.3f}" for x in XS)
+        for m in sorted(prof)
+    ]
+    table = format_table(["method"] + [f"x={x}" for x in XS], rows)
+    path = write_result("fig7_profile_largep", table)
+    print(f"\n[Figure 7] profile, p >= {LARGE_P} (written to {path})\n{table}")
+
+    # at large p the 1D/2D separation is clean: every 2D curve is above
+    # every 1D curve at x = 2 (the paper's figure shows the same split)
+    for m2 in ("2D-Block", "2D-Random", "2D-GP/HP"):
+        for m1 in ("1D-Block", "1D-Random", "1D-GP/HP"):
+            assert profile_value_at(prof, m2, 2.0) >= profile_value_at(prof, m1, 2.0)
+    # 1D methods rarely come close to best at scale
+    assert profile_value_at(prof, "1D-Block", 1.5) < 0.3

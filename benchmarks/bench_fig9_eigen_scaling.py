@@ -1,0 +1,41 @@
+"""Figure 9 — eigensolver strong scaling for three matrices.
+
+Same data as Table 4, plotted as scaling series. Expected shape (mirrors
+Figure 5): 1D methods stop scaling above mid-range p, 2D methods keep
+scaling to the largest p.
+"""
+
+from collections import defaultdict
+
+from conftest import EIGEN_MATRICES, write_result
+
+from repro.bench import format_table
+
+
+def test_fig9_eigen_scaling(benchmark, table4_records):
+    def series():
+        out = defaultdict(dict)
+        for r in table4_records:
+            out[(r.matrix, r.method)][r.nprocs] = r.solve_time
+        return dict(out)
+
+    data = benchmark(series)
+    procs = sorted({p for d in data.values() for p in d})
+    rows = [
+        (m, meth) + tuple(f"{d[p]:.4f}" for p in procs)
+        for (m, meth), d in sorted(data.items())
+    ]
+    table = format_table(["matrix", "method"] + [f"p={p}" for p in procs], rows)
+    path = write_result("fig9_eigen_scaling", table)
+    print(f"\n[Figure 9] eigensolver strong scaling (written to {path})\n{table}")
+
+    for matrix in EIGEN_MATRICES:
+        ours = "2D-GP-MC" if (matrix, "2D-GP-MC") in data else "2D-HP"
+        best2d = data[(matrix, ours)]
+        oned = data[(matrix, "1D-Block")]
+        # 2D keeps improving (or holds) from p=16 to p=256...
+        assert best2d[256] < 1.1 * best2d[16]
+        # ...and ends far ahead of 1D-Block
+        assert best2d[256] < 0.6 * oned[256]
+        # 1D scaling is gone at the top end
+        assert oned[256] > 0.9 * oned[64]

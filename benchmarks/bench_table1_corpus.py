@@ -1,0 +1,47 @@
+"""Table 1 — input matrices and their statistics.
+
+Paper Table 1 lists the ten inputs with #rows, #nonzeros and max
+nonzeros/row. This bench regenerates the table for the proxy corpus and
+prints the paper's original numbers alongside, making the 1/250-scale
+substitution explicit.
+"""
+
+from conftest import write_result
+
+from repro.bench import format_table
+from repro.generators import corpus_names, corpus_spec, load_corpus_matrix
+from repro.graphs import graph_stats
+
+
+def _build_table() -> str:
+    rows = []
+    for name in corpus_names():
+        spec = corpus_spec(name)
+        s = graph_stats(load_corpus_matrix(name), name)
+        rows.append(
+            (
+                name,
+                s.n_rows,
+                s.n_nonzeros,
+                s.max_nnz_per_row,
+                f"{s.powerlaw_gamma:.2f}",
+                f"{s.skew:.0f}",
+                spec.paper_rows,
+                spec.paper_nnz,
+                spec.paper_max_row,
+            )
+        )
+    return format_table(
+        ["matrix", "rows", "nnz", "max/row", "gamma", "skew",
+         "paper rows", "paper nnz", "paper max/row"],
+        rows,
+    )
+
+
+def test_table1_corpus_stats(benchmark):
+    table = benchmark(_build_table)
+    path = write_result("table1_corpus", table)
+    print(f"\n[Table 1] input matrices (written to {path})\n{table}")
+    # every proxy must actually be heavy-tailed, or the study is void
+    for name in corpus_names():
+        assert graph_stats(load_corpus_matrix(name)).skew > 5

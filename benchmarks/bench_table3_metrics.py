@@ -1,0 +1,52 @@
+"""Table 3 — communication metrics for com-liveJournal.
+
+Per (method, p): nonzero imbalance, max messages per process per SpMV,
+total communication volume (doubles), and the 100-SpMV time. These are
+exact machine-independent quantities; the paper uses them to argue that
+message count, not volume, drives SpMV time at scale:
+
+* 1D max messages approach p-1, 2D approach 2*sqrt(p)-2;
+* randomisation fixes imbalance but inflates volume;
+* GP lowers volume below both block and random in 1D and 2D.
+"""
+
+from conftest import methods_for, write_result
+
+from repro.bench import format_table, spmv_grid
+
+MATRIX = "com-liveJournal"
+
+
+def test_table3_livejournal_metrics(benchmark):
+    methods = methods_for(MATRIX)
+
+    def run():
+        return spmv_grid([MATRIX], methods, procs=(4, 16, 64, 256))
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (r.nprocs, r.method, f"{r.stats.nnz_imbalance:.1f}", r.stats.max_messages,
+         r.stats.total_comm_volume, f"{r.time100:.4f}")
+        for r in sorted(records, key=lambda r: (r.nprocs, r.method))
+    ]
+    table = format_table(["p", "method", "imbal(nz)", "max msgs", "total CV", "t100"], rows)
+    path = write_result("table3_livejournal", table)
+    print(f"\n[Table 3] com-liveJournal metrics (written to {path})\n{table}")
+
+    by = {(r.nprocs, r.method): r for r in records}
+    for p, grid_bound in ((4, 2), (16, 6), (64, 14), (256, 30)):
+        # paper's two message-count regimes
+        assert by[(p, "1D-Block")].stats.max_messages <= p - 1
+        assert by[(p, "2D-GP")].stats.max_messages <= grid_bound
+        # randomisation: volume up, imbalance down (section 2.4)
+        assert (by[(p, "1D-Random")].stats.total_comm_volume
+                > by[(p, "1D-Block")].stats.total_comm_volume)
+        # partitioning lowers volume below random in both 1D and 2D
+        assert (by[(p, "1D-GP")].stats.total_comm_volume
+                < by[(p, "1D-Random")].stats.total_comm_volume)
+        assert (by[(p, "2D-GP")].stats.total_comm_volume
+                < by[(p, "2D-Random")].stats.total_comm_volume)
+    # at the largest p, message counts (2D) beat volume (1D-GP has least CV
+    # among 1D but still loses to every 2D layout on time)
+    t = {m: by[(256, m)].time100 for m in ("1D-GP", "2D-Block", "2D-Random", "2D-GP")}
+    assert t["1D-GP"] > max(t["2D-Block"], t["2D-Random"], t["2D-GP"])

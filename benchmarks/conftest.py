@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index). Expensive inputs — partitions, eigensolve
+profiles — come from the on-disk cache; run ``python benchmarks/prewarm.py``
+once to populate it, or let the first bench run pay the cost.
+
+Every bench prints its paper-shaped table (run with ``-s`` to see them) and
+writes it to ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import spmv_grid
+from repro.bench.eigen import eigen_grid
+from repro.generators import corpus_names, corpus_spec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: the six distributions of Table 2, with the per-matrix GP/HP choice
+#: resolved exactly as the paper resolved it
+METHODS_1D = ("1d-block", "1d-random")
+METHODS_2D = ("2d-block", "2d-random")
+
+#: eigensolver methods of Table 4 (GP matrices get the MC variants too)
+EIGEN_MATRICES = ("hollywood-2009", "com-orkut", "rmat_26")
+
+
+def methods_for(matrix_name: str) -> list[str]:
+    """The paper's six Table-2 methods for this matrix (GP vs HP resolved)."""
+    kind = corpus_spec(matrix_name).partitioner
+    return ["1d-block", "1d-random", f"1d-{kind}", "2d-block", "2d-random", f"2d-{kind}"]
+
+
+def eigen_methods_for(matrix_name: str) -> list[str]:
+    """Table 4's method set: 8 for GP matrices (incl. MC), 6 for HP."""
+    kind = corpus_spec(matrix_name).partitioner
+    methods = ["1d-block", "1d-random", f"1d-{kind}", "2d-block", "2d-random", f"2d-{kind}"]
+    if kind == "gp":
+        methods.insert(3, "1d-gp-mc")
+        methods.append("2d-gp-mc")
+    return methods
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def table2_records():
+    """The full Table-2 sweep; shared by the table-2, fig-5/6/7 benches."""
+    records = []
+    for name in corpus_names():
+        records.extend(spmv_grid([name], methods_for(name)))
+    return records
+
+
+@pytest.fixture(scope="session")
+def table4_records():
+    """The full Table-4 eigensolver sweep; shared with fig-9."""
+    records = []
+    for name in EIGEN_MATRICES:
+        records.extend(eigen_grid([name], eigen_methods_for(name), nstarts=3))
+    return records

@@ -1,0 +1,58 @@
+"""Pre-warm the partition cache for the benchmark suite.
+
+The paper treats partitioning as a reusable pre-processing step done on a
+workstation ("partitions might be reused for several analyses"); this
+script is that step. Run it once before ``pytest benchmarks/``:
+
+    python benchmarks/prewarm.py
+
+Partitions land in the on-disk cache (see
+:func:`repro.bench.default_cache_dir`), after which the bench suite only
+evaluates layouts — minutes instead of an hour.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import cached_rpart, PROXY_PROCS
+from repro.bench.eigen import profiles_for
+from repro.generators import corpus_names, corpus_spec, load_corpus_matrix
+
+#: matrices whose Table-2 row extends to the 16K-process platform section
+SCALE_16K = {"com-liveJournal", "uk-2005"}
+#: eigensolver experiment matrices (paper Tables 4-5, Figure 9)
+EIGEN_MATRICES = ("hollywood-2009", "com-orkut", "rmat_26")
+
+
+def main() -> int:
+    t0 = time.time()
+    pmax = max(PROXY_PROCS)
+    for name in corpus_names():
+        spec = corpus_spec(name)
+        A = load_corpus_matrix(name)
+        # all partitions nest from the largest k (the harness repairs
+        # balance at each derived k), so one run per matrix suffices
+        ks = [pmax]
+        if name in SCALE_16K:
+            ks.append(1024)
+        for k in ks:
+            t = time.time()
+            cached_rpart(A, spec.partitioner, k, seed=0)
+            print(f"{name:16s} {spec.partitioner:5s} k={k:5d}  {time.time() - t:6.1f}s", flush=True)
+    for name in EIGEN_MATRICES:
+        if corpus_spec(name).partitioner == "gp":  # MC needs the graph path
+            A = load_corpus_matrix(name)
+            t = time.time()
+            cached_rpart(A, "gp-mc", pmax, seed=0)
+            print(f"{name:16s} gp-mc k={pmax:5d}  {time.time() - t:6.1f}s", flush=True)
+        t = time.time()
+        profiles_for(name, k=10, tol=1e-3, nstarts=3)
+        print(f"{name:16s} eigensolve profiles  {time.time() - t:6.1f}s", flush=True)
+    print(f"total {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""PageRank on a synthetic web crawl under different data layouts.
+
+PageRank is the paper's motivating workload for linear-algebra graph
+analysis ("in its simplest form the power method applied to a matrix
+derived from the weblink adjacency matrix"). This example:
+
+1. generates a host-structured web graph (wb-edu style: strong id-space
+   locality, hub pages),
+2. runs the distributed PageRank iteration under 1D-Block, 1D-Random and
+   2D-GP layouts,
+3. verifies the three produce the same ranking, and
+4. compares modeled iteration cost — including the paper's wb-edu twist:
+   on graphs with crawl locality, randomisation *hurts*.
+
+Run:  python examples/pagerank_webgraph.py [--procs 64]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.generators import webgraph
+from repro.layouts import make_layout
+from repro.solvers import pagerank
+
+METHODS = ["1d-block", "1d-random", "2d-block", "2d-gp"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--procs", type=int, default=64)
+    parser.add_argument("--n", type=int, default=12_000, help="number of pages")
+    args = parser.parse_args()
+
+    print(f"generating a web crawl proxy (n={args.n}, host locality 85%)...")
+    A = webgraph(args.n, mean_degree=14, intra_fraction=0.85, seed=7)
+    print(f"  {A.shape[0]} pages, {A.nnz} links")
+
+    rows = []
+    scores = {}
+    for method in METHODS:
+        layout = make_layout(method, A, args.procs, seed=0)
+        res = pagerank(A, layout, damping=0.85, tol=1e-10)
+        scores[layout.name] = res.scores
+        rows.append((layout.name, res.iterations,
+                     f"{res.ledger.spmv_total():.4f}",
+                     f"{res.ledger.total():.4f}",
+                     "yes" if res.converged else "no"))
+
+    names = list(scores)
+    for other in names[1:]:
+        drift = np.abs(scores[names[0]] - scores[other]).max()
+        assert drift < 1e-9, f"layouts disagree: {drift}"
+    print("\nall layouts converge to the same PageRank vector "
+          f"(max cross-layout drift < 1e-9)")
+
+    print(f"\nmodeled cost on p={args.procs} simulated processes:\n")
+    print(format_table(["layout", "iterations", "SpMV time", "total time", "converged"], rows))
+
+    top = np.argsort(scores[names[0]])[::-1][:5]
+    print("\ntop-5 pages by PageRank:", top.tolist())
+    t = {r[0]: float(r[3]) for r in rows}
+    if t["1D-Random"] > t["1D-Block"]:
+        print("\nnote: 1D-Random is SLOWER than 1D-Block here — the wb-edu "
+              "effect.\nRandomisation destroyed the crawl's host locality, and "
+              "the extra communication volume outweighed the balance gain "
+              "(paper, section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Spectral graph analysis: the paper's eigensolver experiment, end to end.
+
+Computes the ten largest eigenpairs of the normalized Laplacian
+``L = I - D^{-1/2} A D^{-1/2}`` of a social-network-like graph with the
+distributed Krylov-Schur solver (the paper's Anasazi BKS configuration:
+block size 1, tol 1e-3, random start), under several data layouts.
+
+Eigenvalues near 2 certify near-bipartite structure — the paper's cited
+motivation (bipartite subgraph detection, Kirkland & Paul). The example
+verifies the distributed solver against scipy and shows the Table-5
+phenomenon: nonzero-balanced 2D-GP leaves vector operations imbalanced,
+and the multiconstraint variant (2D-GP-MC) fixes it.
+
+Run:  python examples/spectral_analysis.py [--procs 64]
+"""
+
+import argparse
+
+import numpy as np
+import scipy.sparse.linalg as sla
+
+from repro.bench import format_table
+from repro.generators import bter
+from repro.graphs import normalized_laplacian
+from repro.layouts import make_layout
+from repro.solvers import eigsh_dist, normalized_laplacian_operator
+
+METHODS = ["1d-block", "2d-block", "2d-gp", "2d-gp-mc"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--procs", type=int, default=64)
+    parser.add_argument("--n", type=int, default=6_000)
+    parser.add_argument("--k", type=int, default=10, help="eigenpairs to compute")
+    args = parser.parse_args()
+
+    print(f"generating a community-structured scale-free graph (BTER, n={args.n})...")
+    A = bter(args.n, gamma=2.0, mean_degree=20, max_degree=args.n // 10, seed=3)
+    print(f"  {A.shape[0]} vertices, {A.nnz} edges (stored twice)")
+
+    rows = []
+    eigs = None
+    for method in METHODS:
+        layout = make_layout(method, A, args.procs, seed=0)
+        op = normalized_laplacian_operator(A, layout)
+        res = eigsh_dist(op, k=args.k, tol=1e-3, which="LA", seed=42)
+        eigs = res.eigenvalues
+        led = op.ledger
+        rows.append((layout.name, res.matvecs,
+                     f"{led.spmv_total():.4f}", f"{led.get('vector-ops'):.4f}",
+                     f"{led.total():.4f}",
+                     f"{op.dist.vector_map.imbalance():.1f}"))
+
+    print(f"\nten largest eigenvalues of the normalized Laplacian:")
+    print(" ", np.round(eigs, 4).tolist())
+    ref = np.sort(sla.eigsh(normalized_laplacian(A), k=args.k, which="LA",
+                            return_eigenvectors=False))[::-1]
+    print(f"  max |ours - scipy| = {np.abs(np.sort(eigs) - np.sort(ref)).max():.2e}")
+    if eigs[0] > 1.9:
+        print("  (an eigenvalue near 2 flags a near-bipartite subgraph — the "
+              "paper's motivating analysis)")
+
+    print(f"\nmodeled eigensolve cost on p={args.procs} simulated processes:\n")
+    print(format_table(
+        ["layout", "matvecs", "SpMV time", "vector-op time", "total", "vector imbal"],
+        rows,
+    ))
+    print(
+        "\nreading the table: 2D-GP balances *nonzeros* but typically leaves\n"
+        "vector entries imbalanced, so its dense (vector-op) time suffers;\n"
+        "2D-GP-MC balances rows AND nonzeros and should have the lowest total\n"
+        "— the paper's Table 5 in miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+See DESIGN.md's experiment index for the mapping from paper table/figure
+to the bench module in ``benchmarks/`` that drives these helpers.
+"""
+
+from .harness import (
+    PAPER_TO_PROXY_PROCS,
+    PROXY_PROCS,
+    SpmvRecord,
+    cached_rpart,
+    default_cache_dir,
+    gp_or_hp,
+    layout_for,
+    run_spmv_cell,
+    spmv_grid,
+)
+from .eigen import EigenRecord, eigen_grid, profiles_for
+from .profiles import performance_profile, fraction_best, profile_value_at
+from .reporting import format_table, format_seconds, reduction_vs_best, table2_rows
+
+__all__ = [
+    "PAPER_TO_PROXY_PROCS",
+    "PROXY_PROCS",
+    "SpmvRecord",
+    "cached_rpart",
+    "default_cache_dir",
+    "gp_or_hp",
+    "layout_for",
+    "run_spmv_cell",
+    "spmv_grid",
+    "EigenRecord",
+    "eigen_grid",
+    "profiles_for",
+    "performance_profile",
+    "fraction_best",
+    "profile_value_at",
+    "format_table",
+    "format_seconds",
+    "reduction_vs_best",
+    "table2_rows",
+]

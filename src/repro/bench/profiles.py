@@ -1,0 +1,65 @@
+"""Performance profiles (paper Figures 6 and 7).
+
+A performance profile plots, for each method, the fraction of problem
+instances (y) on which the method's time is within a factor x of the best
+method's time for that instance. A method that is always best is a
+vertical line at x = 1; the paper uses this to show 2D-GP/HP is best on
+97.5% of instances.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["performance_profile", "fraction_best", "profile_value_at"]
+
+
+def performance_profile(
+    records: list, time_of=lambda r: r.time100, key_of=lambda r: (r.matrix, r.nprocs),
+    method_of=lambda r: r.method,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Compute profile curves from a list of sweep records.
+
+    Returns ``{method: (ratios, fractions)}`` where ``ratios`` is the
+    sorted array of time-to-best ratios over all instances and
+    ``fractions[i] = (i+1)/n_instances`` — plot as a step curve.
+    """
+    by_instance: dict = defaultdict(dict)
+    for r in records:
+        by_instance[key_of(r)][method_of(r)] = time_of(r)
+    methods = sorted({method_of(r) for r in records})
+    ratios: dict[str, list[float]] = {m: [] for m in methods}
+    for times in by_instance.values():
+        best = min(times.values())
+        for m in methods:
+            if m in times:
+                ratios[m].append(times[m] / max(best, 1e-300))
+    out = {}
+    n_instances = len(by_instance)
+    for m in methods:
+        arr = np.sort(np.asarray(ratios[m]))
+        fracs = np.arange(1, len(arr) + 1) / max(n_instances, 1)
+        out[m] = (arr, fracs)
+    return out
+
+
+def fraction_best(profile: dict[str, tuple[np.ndarray, np.ndarray]], method: str,
+                  tol: float = 1.0 + 1e-9) -> float:
+    """Fraction of instances on which *method* is (tied-)best."""
+    ratios, _ = profile[method]
+    if len(ratios) == 0:
+        return 0.0
+    return float((ratios <= tol).sum() / len(ratios))
+
+
+def profile_value_at(profile: dict[str, tuple[np.ndarray, np.ndarray]], method: str,
+                     x: float) -> float:
+    """Profile height of *method* at ratio *x* (fraction within x of best).
+
+    E.g. the paper reads (x=2, y=0.4) for 1D-GP/HP off Figure 6.
+    """
+    ratios, fracs = profile[method]
+    idx = int(np.searchsorted(ratios, x, side="right"))
+    return float(fracs[idx - 1]) if idx > 0 else 0.0

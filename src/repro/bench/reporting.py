@@ -1,0 +1,72 @@
+"""Plain-text table rendering in the shape of the paper's tables."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["format_table", "table2_rows", "reduction_vs_best", "format_seconds"]
+
+
+def format_seconds(t: float) -> str:
+    """Compact fixed-ish formatting matching the paper's tables."""
+    if t >= 100:
+        return f"{t:.1f}"
+    if t >= 1:
+        return f"{t:.2f}"
+    return f"{t:.4f}"
+
+
+def format_table(headers: list[str], rows: list[tuple]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def reduction_vs_best(times: dict[str, float], ours: str) -> float:
+    """Paper Table 2 last column: % reduction of *ours* vs the best other.
+
+    Positive means our method is faster; the paper's one negative cell
+    (uk-2005 at 64 procs, -5.9%) corresponds to a negative value here.
+    """
+    other = [t for m, t in times.items() if m != ours]
+    if not other or ours not in times:
+        return float("nan")
+    best_other = min(other)
+    return (1.0 - times[ours] / best_other) * 100.0
+
+
+def table2_rows(records: list, ours_prefix: str = "2D-GP") -> list[tuple]:
+    """Group SpMV sweep records into Table-2-shaped rows.
+
+    One row per (matrix, nprocs): the six method times in the paper's
+    column order plus the reduction-vs-next-best column. Methods are
+    normalised so that GP and HP variants share a column, as in the paper
+    ("1D-GP/HP").
+    """
+    col_order = ["1D-Block", "1D-Random", "1D-GP/HP", "2D-Block", "2D-Random", "2D-GP/HP"]
+
+    def norm(method: str) -> str:
+        if method in ("1D-GP", "1D-HP", "1D-GP-MC"):
+            return "1D-GP/HP"
+        if method in ("2D-GP", "2D-HP", "2D-GP-MC"):
+            return "2D-GP/HP"
+        return method
+
+    grouped: dict[tuple, dict[str, float]] = defaultdict(dict)
+    for r in records:
+        grouped[(r.matrix, r.nprocs)][norm(r.method)] = r.time100
+    rows = []
+    for (matrix, p), times in sorted(grouped.items()):
+        red = reduction_vs_best(times, "2D-GP/HP")
+        rows.append(
+            (matrix, p)
+            + tuple(format_seconds(times[c]) if c in times else "-" for c in col_order)
+            + (f"{red:.1f}%",)
+        )
+    return rows

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the production workflow the paper describes — partition
+once on a workstation, reuse for many analyses:
+
+``corpus``
+    List the built-in proxy matrices and their Table-1 statistics.
+``stats MATRIX``
+    Structural statistics of a matrix (corpus name or MatrixMarket path).
+``partition MATRIX -k K [--method gp|hp|gp-mc] [-o OUT.npy]``
+    Run the partitioner; prints cut/imbalance, optionally saves rpart.
+``spmv MATRIX -p P [--methods ...]``
+    Compare data layouts for SpMV on the simulated machine (a Table-2 row).
+``eigen MATRIX -p P [--methods ...] [-k K]``
+    Compare layouts for the normalized-Laplacian eigensolve (a Table-4 row).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _load(matrix: str):
+    from .generators.corpus import CORPUS, load_corpus_matrix
+    from .io import read_matrix_market
+
+    if matrix in CORPUS:
+        return load_corpus_matrix(matrix)
+    path = Path(matrix)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {matrix!r} is neither a corpus name nor a file "
+            f"(corpus: {', '.join(CORPUS)})"
+        )
+    return read_matrix_market(path)
+
+
+def _cmd_corpus(_args) -> int:
+    from .bench.reporting import format_table
+    from .generators.corpus import CORPUS, load_corpus_matrix
+    from .graphs import graph_stats
+
+    rows = []
+    for name, spec in CORPUS.items():
+        s = graph_stats(load_corpus_matrix(name), name)
+        rows.append((name, spec.partitioner, s.n_rows, s.n_nonzeros,
+                     s.max_nnz_per_row, spec.description))
+    print(format_table(["name", "part", "rows", "nnz", "max/row", "description"], rows))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .graphs import graph_stats
+
+    A = _load(args.matrix)
+    s = graph_stats(A, args.matrix)
+    print(f"rows           {s.n_rows}")
+    print(f"nonzeros       {s.n_nonzeros}")
+    print(f"max nnz/row    {s.max_nnz_per_row}")
+    print(f"mean nnz/row   {s.mean_nnz_per_row:.2f}")
+    print(f"power-law MLE  {s.powerlaw_gamma:.2f}")
+    print(f"skew (max/avg) {s.skew:.1f}")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from .partitioning import partition_matrix
+
+    A = _load(args.matrix)
+    res = partition_matrix(A, args.nparts, method=args.method, seed=args.seed)
+    print(f"method     {res.method}")
+    print(f"parts      {res.nparts}")
+    print(f"cut        {res.edgecut:.0f}")
+    print(f"imbalance  {', '.join(f'{x:.3f}' for x in res.imbalance)}")
+    if args.output:
+        np.save(args.output, res.part)
+        print(f"saved rpart to {args.output}")
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    from .bench.harness import run_spmv_cell
+    from .bench.reporting import format_table
+
+    A = _load(args.matrix)
+    rows = []
+    for method in args.methods:
+        rec = run_spmv_cell(A, args.matrix, method, args.procs, seed=args.seed)
+        rows.append((rec.method, f"{rec.stats.nnz_imbalance:.2f}",
+                     rec.stats.max_messages, rec.stats.total_comm_volume,
+                     f"{rec.time100:.4f}"))
+    print(format_table(["layout", "imbal(nz)", "max msgs", "total CV", "t(100 SpMV)"], rows))
+    return 0
+
+
+def _cmd_eigen(args) -> int:
+    from .bench.reporting import format_table
+    from .bench.harness import layout_for
+    from .graphs import normalized_laplacian
+    from .runtime import CAB, DistSparseMatrix
+    from .solvers import modeled_solve_seconds, solve_profile
+
+    A = _load(args.matrix)
+    Lhat = normalized_laplacian(A)
+    prof = solve_profile(Lhat, k=args.k, tol=args.tol, seed=args.seed)
+    rows = []
+    for method in args.methods:
+        layout = layout_for(A, method, args.procs, seed=args.seed)
+        dist = DistSparseMatrix(Lhat, layout, CAB)
+        total, spmv = modeled_solve_seconds(prof, dist)
+        rows.append((layout.name, prof.matvecs, f"{spmv:.4f}", f"{total:.4f}",
+                     f"{dist.vector_map.imbalance():.2f}"))
+    print(format_table(["layout", "matvecs", "SpMV t", "solve t", "vec imbal"], rows))
+    if not prof.converged:
+        print("warning: eigensolve did not converge at the requested tolerance")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="2D Cartesian graph partitioning toolkit (SC13 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corpus", help="list the proxy corpus").set_defaults(fn=_cmd_corpus)
+
+    p = sub.add_parser("stats", help="matrix structural statistics")
+    p.add_argument("matrix")
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("partition", help="run the graph/hypergraph partitioner")
+    p.add_argument("matrix")
+    p.add_argument("-k", "--nparts", type=int, required=True)
+    p.add_argument("--method", choices=("gp", "hp", "gp-mc"), default="gp")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="save the part vector as .npy")
+    p.set_defaults(fn=_cmd_partition)
+
+    default_methods = ["1d-block", "1d-random", "1d-gp", "2d-block", "2d-random", "2d-gp"]
+    p = sub.add_parser("spmv", help="compare SpMV data layouts")
+    p.add_argument("matrix")
+    p.add_argument("-p", "--procs", type=int, default=64)
+    p.add_argument("--methods", nargs="+", default=default_methods)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_spmv)
+
+    p = sub.add_parser("eigen", help="compare layouts for the eigensolver")
+    p.add_argument("matrix")
+    p.add_argument("-p", "--procs", type=int, default=64)
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--tol", type=float, default=1e-3)
+    p.add_argument("--methods", nargs="+",
+                   default=["1d-block", "2d-block", "2d-gp", "2d-gp-mc"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_eigen)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""BTER — Block Two-Level Erdős-Rényi (Seshadhri, Kolda, Pinar 2012).
+
+The paper's ``bter`` input (Table 1) is a BTER matrix with power-law degree
+distribution gamma = 1.9 used in community-detection work. BTER reproduces
+both a target degree distribution and a target clustering-coefficient
+profile by combining:
+
+phase 1
+    *affinity blocks* — groups of similar-degree vertices wired internally
+    as dense Erdős-Rényi blocks (this supplies community structure and
+    clustering), and
+phase 2
+    a Chung-Lu pass over the *excess* degrees (this supplies the global
+    power-law tail).
+
+Both phases are vectorised; phase 1 samples a binomial number of edges per
+block instead of testing each pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.csr import from_edges, drop_diagonal
+from .chunglu import chung_lu, powerlaw_degree_sequence
+
+__all__ = ["bter"]
+
+
+def _affinity_blocks(deg_sorted_asc: np.ndarray) -> list[tuple[int, int]]:
+    """Group vertices (sorted by degree ascending) into affinity blocks.
+
+    Standard BTER blocking: a block starting at a vertex of degree d gets
+    d + 1 members, so that a fully-wired block realises that degree
+    internally. Returns a list of (start, stop) index ranges.
+    """
+    blocks: list[tuple[int, int]] = []
+    n = len(deg_sorted_asc)
+    i = 0
+    while i < n:
+        d = max(int(round(deg_sorted_asc[i])), 1)
+        j = min(i + d + 1, n)
+        blocks.append((i, j))
+        i = j
+    return blocks
+
+
+def bter(
+    n: int,
+    gamma: float = 1.9,
+    mean_degree: float = 16.0,
+    max_degree: int | None = None,
+    max_clustering: float = 0.95,
+    clustering_decay: float = 0.5,
+    seed: int | None = 0,
+) -> sp.csr_matrix:
+    """Generate a BTER graph.
+
+    Parameters
+    ----------
+    n, gamma, mean_degree, max_degree:
+        Power-law degree target (gamma=1.9 matches the paper's bter input).
+    max_clustering:
+        Target local clustering for the lowest-degree blocks.
+    clustering_decay:
+        Exponent of the clustering fall-off ``c(d) ~ max_clustering /
+        (1 + d)**clustering_decay``; higher values concentrate clustering in
+        low-degree communities.
+    seed:
+        RNG seed; splits deterministically across the internal phases.
+
+    Returns
+    -------
+    Canonical symmetric CSR adjacency (no diagonal).
+    """
+    rng = np.random.default_rng(seed)
+    w = powerlaw_degree_sequence(n, gamma, mean_degree, max_degree, seed=rng.integers(2**31))
+    # ascending order so blocks group similar low degrees together;
+    # remember mapping back to the hub-first vertex numbering
+    order = np.argsort(w, kind="stable")  # ascending
+    deg_asc = w[order]
+
+    blocks = _affinity_blocks(deg_asc)
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    internal_degree = np.zeros(n, dtype=np.float64)
+
+    for start, stop in blocks:
+        nb = stop - start
+        if nb < 2:
+            continue
+        dmin = max(deg_asc[start], 1.0)
+        c_target = max_clustering / (1.0 + dmin) ** clustering_decay
+        # ER block with connection prob rho: expected clustering = rho, so
+        # rho = c_target^(1/3) is the standard BTER choice (triangles close
+        # at rate rho^3 relative to wedges at rho^2).
+        rho = min(float(c_target) ** (1.0 / 3.0), 1.0)
+        npairs = nb * (nb - 1) // 2
+        nedges = rng.binomial(npairs, rho)
+        if nedges == 0:
+            continue
+        # sample distinct pair indices then decode to (i < j) within block
+        pair_ids = rng.choice(npairs, size=min(nedges, npairs), replace=False)
+        # decode linear upper-triangle index to (i, j)
+        i_loc = (nb - 2 - np.floor(
+            np.sqrt(-8.0 * pair_ids + 4.0 * nb * (nb - 1) - 7) / 2.0 - 0.5
+        )).astype(np.int64)
+        j_loc = (pair_ids + i_loc + 1 - (i_loc * (2 * nb - i_loc - 1)) // 2).astype(np.int64)
+        gi = order[start + i_loc]
+        gj = order[start + j_loc]
+        rows_parts.append(gi)
+        cols_parts.append(gj)
+        internal_degree[order[start:stop]] += rho * (nb - 1)
+
+    # phase 2: Chung-Lu on the excess degrees
+    excess = np.maximum(w - internal_degree, 0.0)
+    cl = chung_lu(excess, seed=int(rng.integers(2**31)))
+
+    if rows_parts:
+        rows = np.concatenate(rows_parts)
+        cols = np.concatenate(cols_parts)
+        phase1 = from_edges(rows, cols, (n, n), symmetrize=True)
+        A = from_edges(
+            np.concatenate([phase1.tocoo().row, cl.tocoo().row]),
+            np.concatenate([phase1.tocoo().col, cl.tocoo().col]),
+            (n, n),
+        )
+    else:
+        A = cl
+    return drop_diagonal(A)

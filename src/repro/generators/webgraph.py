@@ -1,0 +1,114 @@
+"""Synthetic web-crawl graphs with host locality.
+
+Proxy generator for the paper's ``wb-edu`` and ``uk-2005`` inputs. Crawled
+web graphs have two properties that matter for data layout and that plain
+scale-free generators do not reproduce:
+
+1. **Id-space locality**: pages of one host occupy consecutive vertex ids
+   (crawl order), and most links stay within a host. This is why, in the
+   paper's Table 2, 1D-Block beats 1D-Random on wb-edu — randomisation
+   destroys locality and inflates communication volume.
+2. **Power-law host sizes and degrees**, including a handful of enormous
+   hub pages (uk-2005 has a row with 1.8M nonzeros).
+
+The generator lays hosts out as contiguous id ranges with power-law sizes,
+wires pages within a host densely (Erdős-Rényi with a target intra-host
+degree), and adds a Chung-Lu inter-host layer over host-level weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.csr import from_edges, drop_diagonal
+
+__all__ = ["webgraph"]
+
+
+def webgraph(
+    n: int,
+    mean_degree: float = 20.0,
+    host_gamma: float = 1.8,
+    mean_host_size: float = 60.0,
+    intra_fraction: float = 0.8,
+    hub_fraction: float = 0.001,
+    hub_degree: int | None = None,
+    seed: int | None = 0,
+) -> sp.csr_matrix:
+    """Generate a host-structured web graph proxy.
+
+    Parameters
+    ----------
+    n:
+        Number of pages (vertices).
+    mean_degree:
+        Target mean degree of the symmetrised graph.
+    host_gamma, mean_host_size:
+        Power-law exponent and mean of host sizes.
+    intra_fraction:
+        Fraction of edge endpoints spent inside hosts (locality knob;
+         0.8 reproduces the strongly partitionable character of wb-edu).
+    hub_fraction, hub_degree:
+        A few pages become crawl hubs with degree ``hub_degree``
+        (default ``n // 20``), reproducing the extreme max-nnz/row of
+        uk-2005-like crawls.
+    seed:
+        RNG seed.
+    """
+    if not 0.0 <= intra_fraction <= 1.0:
+        raise ValueError(f"intra_fraction must be in [0,1], got {intra_fraction}")
+    rng = np.random.default_rng(seed)
+
+    # --- host size sequence (power law, contiguous id ranges) ---
+    sizes: list[int] = []
+    total = 0
+    while total < n:
+        u = rng.random()
+        s = int(
+            min(
+                (1.0 - u) ** (-1.0 / (host_gamma - 1.0)) * mean_host_size * 0.4,
+                10 * mean_host_size,  # cap: keeps hosts block-sized so the
+                n / 4,  # id-space locality is usable by block layouts
+            )
+        )
+        s = max(s, 2)
+        s = min(s, n - total)
+        sizes.append(s)
+        total += s
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+    sizes_arr = np.array(sizes, dtype=np.int64)
+
+    m_total = int(n * mean_degree / 2.0)
+    m_intra = int(m_total * intra_fraction)
+    m_inter = m_total - m_intra
+
+    # --- intra-host edges: pick a host weighted by its pair count, then a
+    # random pair inside it ---
+    pair_counts = sizes_arr * (sizes_arr - 1) // 2
+    pw = pair_counts / max(pair_counts.sum(), 1)
+    hosts = rng.choice(len(sizes_arr), size=m_intra, p=pw)
+    hs, hn = starts[hosts], sizes_arr[hosts]
+    intra_src = hs + rng.integers(0, hn)
+    intra_dst = hs + rng.integers(0, hn)
+
+    # --- inter-host edges: endpoints Chung-Lu over host weights, vertex
+    # uniform within host ---
+    hostw = sizes_arr.astype(np.float64)
+    hostw /= hostw.sum()
+    h1 = rng.choice(len(sizes_arr), size=m_inter, p=hostw)
+    h2 = rng.choice(len(sizes_arr), size=m_inter, p=hostw)
+    inter_src = starts[h1] + rng.integers(0, sizes_arr[h1])
+    inter_dst = starts[h2] + rng.integers(0, sizes_arr[h2])
+
+    # --- hubs: directory/index pages linking very widely ---
+    nhubs = max(int(n * hub_fraction), 1)
+    hub_deg = hub_degree if hub_degree is not None else max(n // 20, 10)
+    hub_ids = rng.choice(n, size=nhubs, replace=False)
+    hub_src = np.repeat(hub_ids, hub_deg)
+    hub_dst = rng.integers(0, n, size=nhubs * hub_deg)
+
+    src = np.concatenate([intra_src, inter_src, hub_src])
+    dst = np.concatenate([intra_dst, inter_dst, hub_dst])
+    A = from_edges(src, dst, (n, n), symmetrize=True)
+    return drop_diagonal(A)

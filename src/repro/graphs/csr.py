@@ -1,0 +1,128 @@
+"""CSR construction and structural helpers.
+
+All public functions accept anything ``scipy.sparse`` can coerce and return
+canonical CSR: sorted indices, no duplicate entries, no explicit zeros,
+float64 data. Keeping a single canonical form lets every layer above
+(partitioners, layouts, runtime) index the structure without re-checking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "as_csr",
+    "from_edges",
+    "empty_csr",
+    "pattern_equal",
+    "is_structurally_symmetric",
+    "drop_diagonal",
+    "nonzeros_per_row",
+    "nonzeros_per_col",
+]
+
+
+def as_csr(A) -> sp.csr_matrix:
+    """Coerce *A* to canonical CSR (sorted, deduplicated, float64).
+
+    Idempotent: a matrix that is already canonical is passed through with at
+    most a dtype view change, so calling it defensively at API boundaries is
+    cheap.
+    """
+    M = sp.csr_matrix(A)
+    if M.dtype != np.float64:
+        M = M.astype(np.float64)
+    M.sum_duplicates()
+    M.eliminate_zeros()
+    if not M.has_sorted_indices:
+        M.sort_indices()
+    return M
+
+
+def from_edges(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    shape: tuple[int, int],
+    values: np.ndarray | None = None,
+    symmetrize: bool = False,
+) -> sp.csr_matrix:
+    """Build a CSR matrix from an edge list (COO triplets).
+
+    Duplicate edges are merged by *binary* OR on the pattern — the value of a
+    merged entry is 1.0, not the multiplicity — because the paper's matrices
+    are unweighted adjacency structures. Pass explicit ``values`` to keep a
+    weighted accumulation instead.
+
+    Parameters
+    ----------
+    rows, cols:
+        Edge endpoints, any integer dtype.
+    shape:
+        Matrix dimensions ``(m, n)``.
+    values:
+        Optional explicit values; duplicates are summed when given.
+    symmetrize:
+        If True, also insert the transposed edges (undirected graph stored
+        twice, as the paper stores it).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise ValueError(f"rows and cols length mismatch: {rows.shape} vs {cols.shape}")
+    if symmetrize:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        if values is not None:
+            values = np.concatenate([values, values])
+    if values is None:
+        M = sp.coo_matrix((np.ones(len(rows)), (rows, cols)), shape=shape).tocsr()
+        M.sum_duplicates()
+        M.data[:] = 1.0  # pattern semantics: duplicates collapse to 1
+    else:
+        vals = np.asarray(values, dtype=np.float64)
+        M = sp.coo_matrix((vals, (rows, cols)), shape=shape).tocsr()
+        M.sum_duplicates()
+    return as_csr(M)
+
+
+def empty_csr(m: int, n: int) -> sp.csr_matrix:
+    """An all-zero ``m x n`` CSR matrix."""
+    return sp.csr_matrix((m, n), dtype=np.float64)
+
+
+def pattern_equal(A, B) -> bool:
+    """True when *A* and *B* have identical sparsity patterns."""
+    A, B = as_csr(A), as_csr(B)
+    return (
+        A.shape == B.shape
+        and np.array_equal(A.indptr, B.indptr)
+        and np.array_equal(A.indices, B.indices)
+    )
+
+
+def is_structurally_symmetric(A) -> bool:
+    """True when the sparsity pattern of *A* equals that of its transpose."""
+    A = as_csr(A)
+    if A.shape[0] != A.shape[1]:
+        return False
+    return pattern_equal(A, A.T)
+
+
+def drop_diagonal(A) -> sp.csr_matrix:
+    """Return *A* with all diagonal entries removed (graphs have no loops)."""
+    A = as_csr(A).tocoo()
+    keep = A.row != A.col
+    return from_edges(A.row[keep], A.col[keep], A.shape, values=A.data[keep])
+
+
+def nonzeros_per_row(A) -> np.ndarray:
+    """Number of stored entries in each row (== out-degree for adjacency)."""
+    A = as_csr(A)
+    return np.diff(A.indptr).astype(np.int64)
+
+
+def nonzeros_per_col(A) -> np.ndarray:
+    """Number of stored entries in each column (== in-degree)."""
+    A = as_csr(A)
+    counts = np.bincount(A.indices, minlength=A.shape[1])
+    return counts.astype(np.int64)

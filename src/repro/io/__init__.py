@@ -1,0 +1,11 @@
+"""Matrix I/O.
+
+The paper reads its inputs from MatrixMarket files (UF collection / SNAP
+exports). We provide a self-contained MatrixMarket coordinate reader/writer
+so users can run the full pipeline on the real datasets when they have
+them.
+"""
+
+from .matrixmarket import read_matrix_market, write_matrix_market
+
+__all__ = ["read_matrix_market", "write_matrix_market"]

@@ -1,0 +1,35 @@
+"""Data distributions (layouts) for sparse matrices and vectors.
+
+Implements all six distributions compared in the paper (section 5.2) plus
+the multiconstraint variants of section 5.3, on a single abstraction:
+every layout is a row partition ``rpart`` plus a nonzero rule — row-owner
+for 1D, Algorithm 2's Cartesian (phi, psi) mapping for 2D.
+"""
+
+from .base import Layout, process_grid_shape
+from .providers import block_rpart, random_rpart, partitioned_rpart
+from .oned import oned_layout
+from .cartesian import nonzero_partition, cartesian_layout, nonzero_balance
+from .explicit import ExplicitLayout
+from .mondriaan import mondriaan_layout
+from .finegrain import finegrain_layout, finegrain_hypergraph
+from .factory import make_layout, LAYOUT_NAMES, canonical_name
+
+__all__ = [
+    "Layout",
+    "process_grid_shape",
+    "block_rpart",
+    "random_rpart",
+    "partitioned_rpart",
+    "oned_layout",
+    "nonzero_partition",
+    "cartesian_layout",
+    "nonzero_balance",
+    "ExplicitLayout",
+    "mondriaan_layout",
+    "finegrain_layout",
+    "finegrain_hypergraph",
+    "make_layout",
+    "LAYOUT_NAMES",
+    "canonical_name",
+]

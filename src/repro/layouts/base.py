@@ -1,0 +1,112 @@
+"""Layout protocol: how a matrix and its vectors map onto p processes.
+
+A :class:`Layout` answers two questions, exactly the two the paper's
+"matrix partitioning problem" (section 2) poses:
+
+* which process owns vector entry / matrix row k  (``vector_part``), and
+* which process owns nonzero a_ij              (``nonzero_owner``).
+
+Every concrete layout — 1D or 2D — is defined by a row partition vector
+``rpart`` plus a rule for the nonzeros, which keeps the implementation
+faithful to the paper's framing: the 2D-Block layout of Yoo et al. [34]
+*is* Algorithm 2 applied to a block rpart, 2D-Random is Algorithm 2 on a
+random rpart, and 2D-GP/HP is Algorithm 2 on a partitioner rpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Layout", "process_grid_shape"]
+
+
+def process_grid_shape(nprocs: int) -> tuple[int, int]:
+    """Choose a pr x pc grid for p processes: the most-square factorisation.
+
+    For perfect squares this is sqrt(p) x sqrt(p) (the paper's setting);
+    otherwise the factor pair closest to square, preferring pr <= pc.
+    """
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    pr = int(np.sqrt(nprocs))
+    while pr > 1 and nprocs % pr != 0:
+        pr -= 1
+    return pr, nprocs // pr
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A complete data distribution for SpMV on *nprocs* processes.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"2D-GP"`` (matches the paper's tables).
+    nprocs, pr, pc:
+        Process count and logical grid shape (1D layouts use ``pr = p,
+        pc = 1``).
+    vector_part:
+        int64 array, length n: owner process of vector entry k (and of
+        matrix row k for ownership/fold purposes). The input and output
+        vectors share this distribution — the paper requires x and y
+        aligned so no remap communication is incurred per iteration.
+    procrow, proccol:
+        int64 arrays, length n: grid row of matrix row i, grid column of
+        matrix column j. Nonzero a_ij lives at grid process
+        ``(procrow[i], proccol[j])`` = rank ``procrow[i] + proccol[j]*pr``
+        (column-major, as in Algorithm 1 line 6).
+    """
+
+    name: str
+    nprocs: int
+    pr: int
+    pc: int
+    vector_part: np.ndarray = field(repr=False)
+    procrow: np.ndarray = field(repr=False)
+    proccol: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.pr * self.pc != self.nprocs:
+            raise ValueError(f"grid {self.pr}x{self.pc} != nprocs {self.nprocs}")
+        for arr_name in ("vector_part", "procrow", "proccol"):
+            arr = np.asarray(getattr(self, arr_name), dtype=np.int64)
+            object.__setattr__(self, arr_name, arr)
+            if arr.ndim != 1 or len(arr) != self.n:
+                raise ValueError(f"{arr_name} must be 1-D of length n")
+        if len(self.vector_part) and (
+            self.vector_part.min() < 0 or self.vector_part.max() >= self.nprocs
+        ):
+            raise ValueError("vector_part entries out of range")
+        if len(self.procrow) and (self.procrow.min() < 0 or self.procrow.max() >= self.pr):
+            raise ValueError("procrow entries out of range")
+        if len(self.proccol) and (self.proccol.min() < 0 or self.proccol.max() >= self.pc):
+            raise ValueError("proccol entries out of range")
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return len(self.vector_part)
+
+    def nonzero_owner(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Rank owning each nonzero ``a_{rows[k], cols[k]}`` (vectorised).
+
+        Column-major grid numbering: ``rank = procrow(i) + proccol(j)*pr``,
+        Algorithm 1 line 6 of the paper.
+        """
+        return self.procrow[np.asarray(rows)] + self.proccol[np.asarray(cols)] * self.pr
+
+    def is_one_dimensional(self) -> bool:
+        """True for row layouts (every nonzero owned by its row's owner)."""
+        return self.pc == 1
+
+    def max_messages_bound(self) -> int:
+        """Upper bound on messages per process per SpMV.
+
+        ``pr + pc - 2`` for Cartesian layouts (paper section 3.2); for 1D
+        layouts this degenerates to ``p - 1`` (expand only).
+        """
+        if self.is_one_dimensional():
+            return self.nprocs - 1
+        return self.pr + self.pc - 2

@@ -1,0 +1,97 @@
+"""Explicit (non-Cartesian) nonzero distributions.
+
+The paper's method is Cartesian by design — that is what buys the
+O(sqrt p) message bound. Competing 2D methods it cites (Mondriaan [33],
+fine-grain [12]) assign nonzeros more freely and lose that bound. To
+compare against them (the paper's stated future work), the runtime needs a
+layout whose nonzero->rank map is an arbitrary table rather than a
+(phi, psi) product; this module provides it.
+
+:class:`ExplicitLayout` duck-types the parts of :class:`repro.layouts.base.
+Layout` the runtime consumes: ``n``, ``nprocs``, ``vector_part`` and
+``nonzero_owner``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.csr import as_csr
+
+__all__ = ["ExplicitLayout"]
+
+
+class ExplicitLayout:
+    """A per-nonzero ownership table over the pattern of a host matrix.
+
+    Parameters
+    ----------
+    name:
+        Display name (e.g. "Mondriaan").
+    A:
+        Host matrix whose nonzero pattern the table covers.
+    nonzero_ranks:
+        int64 array aligned with the canonical CSR data order of *A*:
+        ``nonzero_ranks[k]`` owns the k-th stored entry.
+    vector_part:
+        Owner rank per vector entry (x and y share it, as the paper
+        requires for iterative methods).
+    nprocs:
+        Rank count.
+    """
+
+    def __init__(self, name: str, A, nonzero_ranks: np.ndarray,
+                 vector_part: np.ndarray, nprocs: int):
+        A = as_csr(A)
+        nonzero_ranks = np.asarray(nonzero_ranks, dtype=np.int64)
+        vector_part = np.asarray(vector_part, dtype=np.int64)
+        if len(nonzero_ranks) != A.nnz:
+            raise ValueError(f"nonzero_ranks length {len(nonzero_ranks)} != nnz {A.nnz}")
+        if len(vector_part) != A.shape[0]:
+            raise ValueError(f"vector_part length {len(vector_part)} != n {A.shape[0]}")
+        for arr, label in ((nonzero_ranks, "nonzero_ranks"), (vector_part, "vector_part")):
+            if len(arr) and (arr.min() < 0 or arr.max() >= nprocs):
+                raise ValueError(f"{label} entries out of range [0, {nprocs})")
+        self.name = name
+        self.nprocs = int(nprocs)
+        self.vector_part = vector_part
+        # ownership stored as a matrix sharing A's pattern (data = rank+1 so
+        # that rank 0 survives sparse storage)
+        self._owner = sp.csr_matrix(
+            (nonzero_ranks + 1, A.indices.copy(), A.indptr.copy()), shape=A.shape
+        )
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return len(self.vector_part)
+
+    def nonzero_owner(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Owner rank of each queried nonzero (must exist in the pattern)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        O = self._owner
+        out = np.empty(len(rows), dtype=np.int64)
+        if len(rows) == 0:
+            return out
+        # group queries by row, then binary-search each row's sorted column
+        # segment once per group (row counts, not query counts, bound the
+        # Python-level loop)
+        order = np.argsort(rows, kind="stable")
+        for idx in np.split(order, np.flatnonzero(np.diff(rows[order])) + 1):
+            r = rows[idx[0]]
+            seg = O.indices[O.indptr[r]: O.indptr[r + 1]]
+            p = np.searchsorted(seg, cols[idx])
+            if (p >= len(seg)).any() or not np.array_equal(seg[np.minimum(p, len(seg) - 1)], cols[idx]):
+                raise ValueError(f"queried nonzero not in pattern (row {r})")
+            out[idx] = O.data[O.indptr[r] + p] - 1
+        return out
+
+    def is_one_dimensional(self) -> bool:
+        """Explicit layouts are general 2D distributions."""
+        return False
+
+    def max_messages_bound(self) -> int:
+        """No Cartesian structure -> only the trivial bound."""
+        return 2 * (self.nprocs - 1)

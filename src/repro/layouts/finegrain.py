@@ -1,0 +1,75 @@
+"""Fine-grain 2D partitioning (Catalyurek & Aykanat [12]).
+
+The other end of the paper's section-2.3 spectrum: every nonzero becomes a
+vertex of a hypergraph with one net per matrix row and one per column (a
+nonzero a_ij pins nets row_i and col_j). Partitioning those vertices
+minimises communication volume *optimally* among all assignments — but,
+as the paper notes, "the number of messages may be high, and such
+partitions are expensive to compute": the hypergraph has nnz vertices, so
+this is only practical for matrices that fit a serial partitioner.
+
+We include it to complete the methods catalogue and for the ablation
+bench: fine-grain sets the volume floor that 2D Cartesian GP approaches
+while keeping the O(sqrt p) message bound fine-grain lacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.csr import as_csr
+from ..partitioning.hkway import hypergraph_recursive_bisection
+from ..partitioning.hypergraph import Hypergraph
+from .explicit import ExplicitLayout
+
+__all__ = ["finegrain_layout", "finegrain_hypergraph"]
+
+
+def finegrain_hypergraph(A) -> Hypergraph:
+    """The fine-grain model: vertices = nonzeros, nets = rows and columns."""
+    A = as_csr(A)
+    n = A.shape[0]
+    coo = A.tocoo()
+    nnz = A.nnz
+    vtx = np.arange(nnz, dtype=np.int64)
+    # net ids: rows occupy [0, n), columns [n, 2n)
+    net = np.concatenate([coo.row, coo.col + n])
+    pin = np.concatenate([vtx, vtx])
+    H = sp.csr_matrix((np.ones(2 * nnz), (net, pin)), shape=(2 * n, nnz))
+    keep = np.diff(H.indptr) >= 2
+    return Hypergraph(as_csr(H[keep]), np.ones((nnz, 1)), np.ones(int(keep.sum())))
+
+
+def finegrain_layout(
+    A, nprocs: int, ub: float = 1.10, seed: int = 0, name: str = "Fine-grain"
+) -> ExplicitLayout:
+    """Partition every nonzero independently; vectors placed greedily.
+
+    Expensive by construction (see module docstring); intended for small
+    matrices and the methods ablation, not production sweeps.
+    """
+    A = as_csr(A)
+    if A.shape[0] != A.shape[1]:
+        raise ValueError(f"square matrices only, got {A.shape}")
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    hg = finegrain_hypergraph(A)
+    ranks = hypergraph_recursive_bisection(hg, nprocs, ub=ub, seed=seed)
+
+    # vector placement: x_k/y_k to the least-loaded rank touching row/col k
+    coo = A.tocoo()
+    n = A.shape[0]
+    cand: list[set] = [set() for _ in range(n)]
+    for i, r in zip(coo.row.tolist(), ranks.tolist()):
+        cand[i].add(r)
+    for j, r in zip(coo.col.tolist(), ranks.tolist()):
+        cand[j].add(r)
+    load = np.zeros(nprocs, dtype=np.int64)
+    vector_part = np.empty(n, dtype=np.int64)
+    for k in sorted(range(n), key=lambda i: len(cand[i]) or nprocs):
+        options = list(cand[k]) if cand[k] else list(range(nprocs))
+        best = min(options, key=lambda r: load[r])
+        vector_part[k] = best
+        load[best] += 1
+    return ExplicitLayout(name, A, ranks, vector_part, nprocs)

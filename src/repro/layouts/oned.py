@@ -1,0 +1,30 @@
+"""1D (row / vertex) layouts.
+
+A 1D layout owns whole rows: nonzero a_ij goes to the owner of row i, and
+vector entries follow rows. In :class:`Layout` terms this is a degenerate
+``p x 1`` grid — procrow = rpart, proccol = 0 — which lets the runtime
+treat 1D and 2D uniformly (1D simply has an empty fold phase, matching the
+paper's observation that 1D needs only expand + local compute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layout
+
+__all__ = ["oned_layout"]
+
+
+def oned_layout(name: str, rpart: np.ndarray, nprocs: int) -> Layout:
+    """Build a 1D row layout from a row partition vector."""
+    rpart = np.asarray(rpart, dtype=np.int64)
+    return Layout(
+        name=name,
+        nprocs=nprocs,
+        pr=nprocs,
+        pc=1,
+        vector_part=rpart,
+        procrow=rpart,
+        proccol=np.zeros(len(rpart), dtype=np.int64),
+    )

@@ -1,0 +1,51 @@
+"""Shared numpy helpers for the partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_argmax", "segment_sum", "check_part_vector"]
+
+
+def segment_argmax(values: np.ndarray, xadj: np.ndarray) -> np.ndarray:
+    """Per-segment argmax for CSR-style segments.
+
+    ``values`` has one entry per CSR slot; segment *i* is
+    ``values[xadj[i]:xadj[i+1]]``. Returns, for each non-empty segment, the
+    *global* index (into ``values``) of its maximum; empty segments get -1.
+
+    Implemented with a single lexsort: sorting by (segment, value) puts each
+    segment's maximum last within the segment, at position ``xadj[i+1]-1``
+    of the sorted order.
+    """
+    n = len(xadj) - 1
+    if len(values) == 0:
+        return np.full(n, -1, dtype=np.int64)
+    seg = np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj))
+    order = np.lexsort((values, seg))
+    out = np.full(n, -1, dtype=np.int64)
+    nonempty = np.flatnonzero(np.diff(xadj) > 0)
+    out[nonempty] = order[xadj[nonempty + 1] - 1]
+    return out
+
+
+def segment_sum(values: np.ndarray, xadj: np.ndarray) -> np.ndarray:
+    """Per-segment sum for CSR-style segments (empty segments give 0)."""
+    n = len(xadj) - 1
+    out = np.zeros(n, dtype=np.float64)
+    if len(values):
+        seg = np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj))
+        np.add.at(out, seg, values)
+    return out
+
+
+def check_part_vector(part: np.ndarray, n: int, nparts: int) -> np.ndarray:
+    """Validate and canonicalise a part vector (int64, entries in range)."""
+    part = np.asarray(part, dtype=np.int64)
+    if part.shape != (n,):
+        raise ValueError(f"part vector shape {part.shape} != ({n},)")
+    if len(part) and (part.min() < 0 or part.max() >= nparts):
+        raise ValueError(
+            f"part ids out of range [0, {nparts}): min={part.min()}, max={part.max()}"
+        )
+    return part

@@ -1,0 +1,87 @@
+"""Hypergraph coarsening via heavy-overlap handshake matching.
+
+Vertices that share many (small) nets should merge: collapsing them removes
+those nets from consideration and preserves the connectivity cut. We build
+the similarity graph ``S = H'^T diag(1/(size-1)) H'`` (the inner-product /
+heavy-connectivity measure used by PaToH and Zoltan PHG), where ``H'``
+excludes very large nets — a hub column with thousands of pins would
+otherwise create a quadratic-size similarity clique while carrying almost
+no matching signal. Matching on S reuses the graph handshake matcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.csr import as_csr
+from .coarsen import handshake_matching
+from .hypergraph import Hypergraph
+from .partgraph import PartGraph
+
+__all__ = ["similarity_graph", "hcontract", "hcoarsen_level", "hcoarsen_to"]
+
+
+def similarity_graph(hg: Hypergraph, max_net_size: int = 50) -> PartGraph:
+    """Vertex-similarity graph weighted by shared-net overlap."""
+    sizes = hg.net_sizes()
+    keep = (sizes >= 2) & (sizes <= max_net_size)
+    Hs = hg.H[keep]
+    if Hs.nnz == 0:
+        # no usable nets: empty similarity graph (matching degenerates to
+        # singletons, coarsening stalls and the driver stops)
+        empty = sp.csr_matrix((hg.n, hg.n))
+        return PartGraph.from_scipy(empty, hg.vwgt)
+    w = 1.0 / np.maximum(sizes[keep] - 1, 1)
+    Hw = sp.diags(np.sqrt(w * hg.netwgt[keep])) @ Hs
+    S = as_csr(Hw.T @ Hw)
+    S.setdiag(0.0)
+    S.eliminate_zeros()
+    return PartGraph.from_scipy(S, hg.vwgt)
+
+
+def hcontract(hg: Hypergraph, match: np.ndarray) -> tuple[Hypergraph, np.ndarray]:
+    """Contract matched vertex pairs; drop nets that fall below 2 pins."""
+    n = hg.n
+    rep = np.minimum(np.arange(n, dtype=np.int64), match)
+    is_rep = rep == np.arange(n)
+    cmap = (np.cumsum(is_rep) - 1)[rep]
+    nc = int(is_rep.sum())
+    P = sp.csr_matrix((np.ones(n), (np.arange(n), cmap)), shape=(n, nc))
+    Hc = as_csr(hg.H @ P)
+    Hc.data[:] = 1.0
+    keep = np.diff(Hc.indptr) >= 2
+    vwgt_c = np.zeros((nc, hg.ncon))
+    np.add.at(vwgt_c, cmap, hg.vwgt)
+    return Hypergraph(as_csr(Hc[keep]), vwgt_c, hg.netwgt[keep]), cmap
+
+
+def hcoarsen_level(
+    hg: Hypergraph,
+    rng: np.random.Generator,
+    max_vertex_weight: np.ndarray | None = None,
+    max_net_size: int = 50,
+) -> tuple[Hypergraph, np.ndarray]:
+    """One coarsening level: similarity matching then contraction."""
+    sim = similarity_graph(hg, max_net_size=max_net_size)
+    match = handshake_matching(sim, rng, max_vertex_weight=max_vertex_weight)
+    return hcontract(hg, match)
+
+
+def hcoarsen_to(
+    hg: Hypergraph,
+    min_vertices: int,
+    rng: np.random.Generator,
+    max_weight_fraction: float = 0.25,
+    min_shrink: float = 0.95,
+) -> list[tuple[Hypergraph, np.ndarray | None]]:
+    """Coarsen until under *min_vertices* vertices or matching stalls."""
+    levels: list[tuple[Hypergraph, np.ndarray | None]] = [(hg, None)]
+    max_w = hg.total_weight() * max_weight_fraction
+    while levels[-1][0].n > min_vertices:
+        cur = levels[-1][0]
+        hgc, cmap = hcoarsen_level(cur, rng, max_vertex_weight=max_w)
+        if hgc.n >= cur.n * min_shrink:
+            break
+        levels.append((hgc, cmap))
+    return levels

@@ -1,0 +1,153 @@
+"""Multilevel hypergraph bisection and recursive-bisection k-way driver.
+
+Same pipeline as the graph partitioner (coarsen / initial / refine /
+project), with the hypergraph-specific pieces swapped in. Part numbering is
+hierarchical, so :func:`repro.partitioning.kway.derive_nested_partition`
+applies to hypergraph partitions too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._util import check_part_vector
+from .hcoarsen import hcoarsen_to
+from .hrefine import fm_refine_hypergraph, hg_balance_allowance
+from .hypergraph import Hypergraph
+from .refine import is_balanced
+
+__all__ = ["multilevel_hypergraph_bisect", "hypergraph_recursive_bisection"]
+
+
+def _greedy_net_growing(
+    hg: Hypergraph, target_frac: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Grow part 0 by net-BFS from a random seed until the target weight."""
+    n = hg.n
+    part = np.ones(n, dtype=np.int64)
+    target = hg.total_weight()[0] * target_frac
+    grown = 0.0
+    visited = np.zeros(n, dtype=bool)
+    order = rng.permutation(n)
+    oi = 0
+    from collections import deque
+
+    queue: deque[int] = deque()
+    while grown < target:
+        if not queue:
+            while oi < n and visited[order[oi]]:
+                oi += 1
+            if oi >= n:
+                break
+            queue.append(int(order[oi]))
+            visited[order[oi]] = True
+        v = queue.popleft()
+        part[v] = 0
+        grown += hg.vwgt[v, 0]
+        for e in hg.nets_of(v).tolist():
+            for u in hg.pins(e).tolist():
+                if not visited[u]:
+                    visited[u] = True
+                    queue.append(u)
+    return part
+
+
+def _random_bisection(hg: Hypergraph, target_frac: float, rng: np.random.Generator) -> np.ndarray:
+    order = rng.permutation(hg.n)
+    cum = np.cumsum(hg.vwgt[order, 0])
+    target = hg.total_weight()[0] * target_frac
+    split = int(np.searchsorted(cum, target)) + 1
+    split = min(max(split, 1), hg.n - 1) if hg.n > 1 else 0
+    part = np.ones(hg.n, dtype=np.int64)
+    part[order[:split]] = 0
+    return part
+
+
+def _score(hg: Hypergraph, part: np.ndarray, allow: np.ndarray) -> tuple:
+    sw = np.zeros((2, hg.ncon))
+    np.add.at(sw, part, hg.vwgt)
+    over = float(np.maximum(sw - allow, 0.0).sum())
+    return (not is_balanced(sw, allow), over, hg.cut_connectivity_minus_one(part, 2))
+
+
+def multilevel_hypergraph_bisect(
+    hg: Hypergraph,
+    target_fracs: tuple[float, float] = (0.5, 0.5),
+    ub: float = 1.05,
+    seed: int = 0,
+    min_coarse: int = 120,
+    n_initial: int = 3,
+    refine_passes: int = 3,
+) -> np.ndarray:
+    """Bisect hypergraph *hg* minimising connectivity-1 under balance."""
+    if hg.n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if hg.n == 1:
+        return np.zeros(1, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    levels = hcoarsen_to(hg, min_coarse, rng)
+    hgc = levels[-1][0]
+    allow_c = hg_balance_allowance(hgc, target_fracs, ub)
+
+    candidates = [_greedy_net_growing(hgc, target_fracs[0], rng) for _ in range(n_initial)]
+    candidates.append(_random_bisection(hgc, target_fracs[0], rng))
+    refined = [
+        fm_refine_hypergraph(hgc, p, target_fracs, ub, passes=refine_passes, rng=rng)
+        for p in candidates
+    ]
+    part = min(refined, key=lambda p: _score(hgc, p, allow_c))
+
+    for (hg_fine, _), (_, cmap) in zip(reversed(levels[:-1]), reversed(levels[1:])):
+        part = part[cmap]
+        part = fm_refine_hypergraph(hg_fine, part, target_fracs, ub, passes=refine_passes, rng=rng)
+    return part
+
+
+def hypergraph_recursive_bisection(
+    hg: Hypergraph,
+    nparts: int,
+    ub: float = 1.05,
+    seed: int = 0,
+    **bisect_kwargs,
+) -> np.ndarray:
+    """K-way hypergraph partition via recursive bisection."""
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    part = np.zeros(hg.n, dtype=np.int64)
+    if nparts == 1 or hg.n == 0:
+        return part
+    depth = int(np.ceil(np.log2(nparts)))
+    ub_level = float(ub) ** (1.0 / depth)
+    # root-level ideal part weight: splits below target multiples of it so
+    # imbalance does not compound down the recursion (see kway._rb)
+    ideal = hg.total_weight()[0] / nparts
+    _rb(hg, np.arange(hg.n, dtype=np.int64), 0, nparts, part, ub_level, ideal, seed, bisect_kwargs)
+    return check_part_vector(part, hg.n, nparts)
+
+
+def _rb(
+    hg: Hypergraph,
+    vertices: np.ndarray,
+    lo: int,
+    k: int,
+    part: np.ndarray,
+    ub: float,
+    ideal: float,
+    seed: int,
+    kwargs: dict,
+) -> None:
+    if k == 1 or len(vertices) == 0:
+        part[vertices] = lo
+        return
+    k0 = k // 2
+    total = hg.total_weight()[0]
+    frac0 = float(np.clip(k0 * ideal / max(total, 1e-300), 0.05, 0.95))
+    bis = multilevel_hypergraph_bisect(hg, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs)
+    if (bis == 0).sum() == 0 or (bis == 1).sum() == 0:
+        order = np.argsort(-hg.vwgt[:, 0], kind="stable")
+        nleft = max(1, min(hg.n - 1, int(round(hg.n * frac0))))
+        bis = np.ones(hg.n, dtype=np.int64)
+        bis[order[:nleft]] = 0
+    sel0, sel1 = np.flatnonzero(bis == 0), np.flatnonzero(bis == 1)
+    _rb(hg.induced(sel0), vertices[sel0], lo, k0, part, ub, ideal, seed * 2 + 1, kwargs)
+    _rb(hg.induced(sel1), vertices[sel1], lo + k0, k - k0, part, ub, ideal, seed * 2 + 2, kwargs)

@@ -1,0 +1,164 @@
+"""FM refinement for hypergraph bisections on the connectivity-1 metric.
+
+For a bisection the connectivity-1 cut reduces to the weighted number of
+nets with pins on both sides. The gain of moving vertex v from side s to
+side t is::
+
+    gain(v) = sum_{e in nets(v), pins_s(e) == 1} w_e     (net becomes uncut)
+            - sum_{e in nets(v), pins_t(e) == 0} w_e     (net becomes cut)
+
+The pass uses lazy heaps with recompute-on-pop: hypergraph gain updates
+have many threshold cases, and recomputing a popped vertex's gain from the
+current per-net pin counts (O(net-degree)) is both simpler and immune to
+update bugs. Stale entries are reinserted with their fresh gain.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .hypergraph import Hypergraph
+from .refine import is_balanced
+
+__all__ = ["hg_balance_allowance", "fm_refine_hypergraph"]
+
+
+def hg_balance_allowance(
+    hg: Hypergraph, target_fracs: tuple[float, float], ub: float
+) -> np.ndarray:
+    """Side-weight allowance per (side, constraint), hub-widened."""
+    total = hg.total_weight()
+    vmax = hg.vwgt.max(axis=0) if hg.n else np.zeros(hg.ncon)
+    out = np.empty((2, hg.ncon))
+    for side, frac in enumerate(target_fracs):
+        out[side] = np.maximum(ub * frac * total, frac * total + vmax)
+    return out
+
+
+def _violation(sw: np.ndarray, allow: np.ndarray) -> float:
+    return float(np.maximum(sw - allow, 0.0).sum())
+
+
+def fm_refine_hypergraph(
+    hg: Hypergraph,
+    part: np.ndarray,
+    target_fracs: tuple[float, float] = (0.5, 0.5),
+    ub: float = 1.05,
+    passes: int = 3,
+    hill_limit: int = 64,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Refine a hypergraph bisection; returns an improved copy."""
+    part = np.asarray(part, dtype=np.int64).copy()
+    if hg.n <= 1 or hg.nnets == 0:
+        return part
+    allow = hg_balance_allowance(hg, target_fracs, ub)
+    for _ in range(passes):
+        if not _pass(hg, part, allow, hill_limit):
+            break
+    return part
+
+
+def _compute_gain(hg: Hypergraph, part: np.ndarray, counts: np.ndarray, v: int) -> float:
+    s = part[v]
+    nets = hg.nets_of(v)
+    w = hg.netwgt[nets]
+    uncut = counts[nets, s] == 1  # v is the last pin on its side
+    cut_new = counts[nets, 1 - s] == 0  # net currently entirely on v's side
+    return float((w * uncut).sum() - (w * cut_new).sum())
+
+
+def _pass(hg: Hypergraph, part: np.ndarray, allow: np.ndarray, hill_limit: int) -> bool:
+    nparts = 2
+    counts = np.zeros((hg.nnets, nparts), dtype=np.int64)
+    M = hg.net_part_counts(part, nparts).toarray().astype(np.int64)
+    counts[:, : M.shape[1]] = M
+
+    sw = np.zeros((2, hg.ncon))
+    np.add.at(sw, part, hg.vwgt)
+
+    # boundary vertices: pins of cut nets
+    cut_net_ids = np.flatnonzero((counts > 0).sum(axis=1) > 1)
+    if len(cut_net_ids) == 0 and is_balanced(sw, allow):
+        return False
+    boundary = np.unique(hg.H[cut_net_ids].indices) if len(cut_net_ids) else np.arange(hg.n)
+
+    heap: list[tuple[float, int, int]] = []
+    ctr = 0
+    in_heap = np.zeros(hg.n, dtype=bool)
+
+    def push(v: int, g: float) -> None:
+        nonlocal ctr
+        heapq.heappush(heap, (-g, ctr, v))
+        ctr += 1
+        in_heap[v] = True
+
+    for v in boundary.tolist():
+        push(v, _compute_gain(hg, part, counts, v))
+
+    locked = np.zeros(hg.n, dtype=bool)
+    cur_cut = float((hg.netwgt * ((counts > 0).sum(axis=1) > 1)).sum())
+    best_key = (_violation(sw, allow) > 1e-9, cur_cut)
+    moves: list[int] = []
+    best_prefix = 0
+    since_best = 0
+    max_pops = 30 * hg.n + 1000
+
+    pops = 0
+    while since_best < hill_limit and pops < max_pops:
+        pops += 1
+        if not heap:
+            break
+        negg, _, v = heapq.heappop(heap)
+        if locked[v]:
+            continue
+        g = _compute_gain(hg, part, counts, v)
+        if g != -negg:
+            push(v, g)  # stale: reinsert at the true gain
+            continue
+        in_heap[v] = False
+        s = int(part[v])
+        w = hg.vwgt[v]
+        new_sw = sw.copy()
+        new_sw[s] -= w
+        new_sw[1 - s] += w
+        admissible = is_balanced(new_sw, allow) or (
+            _violation(new_sw, allow) < _violation(sw, allow) - 1e-12
+        )
+        if not admissible:
+            continue  # this vertex can't move now; it stays out of the heap
+
+        part[v] = 1 - s
+        locked[v] = True
+        sw = new_sw
+        cur_cut -= g
+        nets = hg.nets_of(v)
+        counts[nets, s] -= 1
+        counts[nets, 1 - s] += 1
+        moves.append(v)
+
+        # wake pins whose gain could have changed materially. Scanning every
+        # pin of every touched net would cost O(moves x max-net-size) — fatal
+        # with hub nets — so we only scan a net when it crossed a gain
+        # threshold: it just became cut (its pins just became boundary), or
+        # one side is down to its last pin (that pin can now uncut the net).
+        for e in nets.tolist():
+            ct, cs = counts[e, 1 - s], counts[e, s]
+            if ct == 1 or cs <= 1:
+                for u in hg.pins(e).tolist():
+                    if not locked[u] and not in_heap[u]:
+                        push(u, _compute_gain(hg, part, counts, u))
+
+        key = (_violation(sw, allow) > 1e-9, cur_cut)
+        if key < best_key:
+            best_key = key
+            best_prefix = len(moves)
+            since_best = 0
+        else:
+            since_best += 1
+
+    for v in moves[best_prefix:]:
+        part[v] = 1 - part[v]
+    return best_prefix > 0

@@ -1,0 +1,86 @@
+"""Epetra-style distribution maps.
+
+A :class:`Map` records which process owns each global index of a vector
+(or of the rows of a matrix). Epetra derives all SpMV communication from
+four such maps (row, column, range, domain); our runtime does the same —
+see :mod:`repro.runtime.distmatrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Map"]
+
+
+class Map:
+    """Ownership map: global index -> owner rank.
+
+    Parameters
+    ----------
+    owner:
+        int64 array of length n; ``owner[k]`` is the rank owning index k.
+    nprocs:
+        Number of ranks.
+
+    Within a rank, owned indices are ordered by global id — the local id
+    of global index k on its owner is its position in that sorted list.
+    """
+
+    def __init__(self, owner: np.ndarray, nprocs: int):
+        self.owner = np.asarray(owner, dtype=np.int64)
+        if self.owner.ndim != 1:
+            raise ValueError("owner must be 1-D")
+        self.nprocs = int(nprocs)
+        if len(self.owner) and (self.owner.min() < 0 or self.owner.max() >= nprocs):
+            raise ValueError(f"owner ranks out of range [0, {nprocs})")
+        # group indices by owner once; all lookups derive from this
+        order = np.argsort(self.owner, kind="stable")
+        counts = np.bincount(self.owner, minlength=nprocs)
+        self._starts = np.concatenate([[0], np.cumsum(counts)])
+        self._grouped = order  # indices sorted by owner, global-id ascending
+        self._counts = counts
+
+    @property
+    def n(self) -> int:
+        """Number of global indices."""
+        return len(self.owner)
+
+    def counts(self) -> np.ndarray:
+        """Owned-index count per rank, shape ``(nprocs,)``."""
+        return self._counts.copy()
+
+    def indices_of(self, rank: int) -> np.ndarray:
+        """Global indices owned by *rank*, ascending (view, do not mutate)."""
+        return self._grouped[self._starts[rank] : self._starts[rank + 1]]
+
+    def local_ids(self, global_ids: np.ndarray, rank: int) -> np.ndarray:
+        """Local ids (positions within the owner's list) of *global_ids*.
+
+        All *global_ids* must be owned by *rank*; raises otherwise — a
+        violated precondition here means a communication plan is wrong.
+        """
+        owned = self.indices_of(rank)
+        pos = np.searchsorted(owned, global_ids)
+        if len(global_ids) and (
+            (pos >= len(owned)).any() or not np.array_equal(owned[np.minimum(pos, len(owned) - 1)], global_ids)
+        ):
+            raise ValueError(f"some indices are not owned by rank {rank}")
+        return pos
+
+    def imbalance(self) -> float:
+        """Max/avg owned count (1.0 = perfectly balanced)."""
+        if self.n == 0 or self.nprocs == 0:
+            return 1.0
+        avg = self.n / self.nprocs
+        return float(self._counts.max() / max(avg, 1e-300))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Map)
+            and self.nprocs == other.nprocs
+            and np.array_equal(self.owner, other.owner)
+        )
+
+    def __repr__(self) -> str:
+        return f"Map(n={self.n}, nprocs={self.nprocs}, imbalance={self.imbalance():.3f})"

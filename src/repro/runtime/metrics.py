@@ -1,0 +1,76 @@
+"""Communication and balance metrics — the columns of Tables 3 and 5.
+
+All quantities here are *exact* (derived from the communication plans and
+ownership maps), not modeled: they are machine-independent, which is why
+the paper can compare them across its two platforms and why we can compare
+ours against the paper's directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distmatrix import DistSparseMatrix
+
+__all__ = ["CommStats", "comm_stats"]
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Per-SpMV communication/balance metrics for one distribution.
+
+    Attributes (paper table column in parentheses)
+    ----------------------------------------------
+    nnz_imbalance:
+        max/avg nonzeros per process ("Imbal (nz)").
+    vector_imbalance:
+        max/avg owned vector entries per process ("Vector Imbal").
+    max_messages:
+        max over ranks of messages sent+received per SpMV, expand and fold
+        combined ("Max Msgs").
+    total_comm_volume:
+        doubles moved per SpMV, expand + fold ("Total CV").
+    expand_volume, fold_volume:
+        per-phase breakdown of the above.
+    expand_messages, fold_messages:
+        total message counts per phase.
+    """
+
+    nprocs: int
+    nnz_imbalance: float
+    vector_imbalance: float
+    max_messages: int
+    total_comm_volume: int
+    expand_volume: int
+    fold_volume: int
+    expand_messages: int
+    fold_messages: int
+
+    def row(self) -> tuple:
+        """(imbal, max msgs, total CV) — Table 3's metric columns."""
+        return (self.nnz_imbalance, self.max_messages, self.total_comm_volume)
+
+
+def comm_stats(dist: DistSparseMatrix) -> CommStats:
+    """Compute :class:`CommStats` for a distributed matrix."""
+    nnz = dist.local_nnz
+    avg_nnz = max(nnz.sum() / dist.nprocs, 1e-300)
+    # paper semantics (Table 3: 63 at p=64 for 1D, pr+pc-2 for 2D): per
+    # phase, a rank's message count is the larger of its sends and receives
+    # (they proceed concurrently); phases are sequential so they add
+    per_rank_msgs = np.maximum(
+        dist.import_plan.sent_counts(), dist.import_plan.recv_counts()
+    ) + np.maximum(dist.fold_plan.sent_counts(), dist.fold_plan.recv_counts())
+    return CommStats(
+        nprocs=dist.nprocs,
+        nnz_imbalance=float(nnz.max() / avg_nnz) if len(nnz) else 1.0,
+        vector_imbalance=dist.vector_map.imbalance(),
+        max_messages=int(per_rank_msgs.max()) if len(per_rank_msgs) else 0,
+        total_comm_volume=dist.import_plan.total_volume + dist.fold_plan.total_volume,
+        expand_volume=dist.import_plan.total_volume,
+        fold_volume=dist.fold_plan.total_volume,
+        expand_messages=dist.import_plan.nmessages,
+        fold_messages=dist.fold_plan.nmessages,
+    )

@@ -1,0 +1,42 @@
+"""Distributed iterative solvers.
+
+:func:`eigsh_dist` (Krylov-Schur, i.e. thick-restart Lanczos) is the
+stand-in for Trilinos Anasazi's Block Krylov-Schur at the paper's
+configuration (block size 1, 10 largest eigenpairs of the normalized
+Laplacian, tol 1e-3). :func:`pagerank` and :func:`power_method` cover the
+paper's other motivating workload.
+"""
+
+from .operators import DistOperator, normalized_laplacian_operator
+from .lanczos import lanczos_factorization, lanczos_eigsh, LanczosResult
+from .krylov_schur import eigsh_dist, KrylovSchurResult
+from .lobpcg import lobpcg_dist, LobpcgResult
+from .power import pagerank, power_method, PageRankResult, PowerResult
+from .replay import (
+    SolveProfile,
+    RecordingSpace,
+    RecordingOperator,
+    solve_profile,
+    modeled_solve_seconds,
+)
+
+__all__ = [
+    "SolveProfile",
+    "RecordingSpace",
+    "RecordingOperator",
+    "solve_profile",
+    "modeled_solve_seconds",
+    "DistOperator",
+    "normalized_laplacian_operator",
+    "lanczos_factorization",
+    "lanczos_eigsh",
+    "LanczosResult",
+    "eigsh_dist",
+    "KrylovSchurResult",
+    "lobpcg_dist",
+    "LobpcgResult",
+    "pagerank",
+    "power_method",
+    "PageRankResult",
+    "PowerResult",
+]

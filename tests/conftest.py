@@ -1,0 +1,42 @@
+"""Shared fixtures: small deterministic matrices and layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.generators import chung_lu, grid2d, powerlaw_degree_sequence, rmat
+
+
+@pytest.fixture(scope="session")
+def small_rmat() -> sp.csr_matrix:
+    """~1k-vertex R-MAT graph: scale-free, hubs at low ids."""
+    return rmat(scale=10, edge_factor=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> sp.csr_matrix:
+    """24x24 mesh: the partitionable contrast case."""
+    return grid2d(24, 24)
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw() -> sp.csr_matrix:
+    """Chung-Lu graph with gamma=2.3 tail."""
+    w = powerlaw_degree_sequence(1500, gamma=2.3, mean_degree=12, max_degree=300, seed=3)
+    return chung_lu(w, seed=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_matrix() -> sp.csr_matrix:
+    """Hand-written 6x6 symmetric pattern for exactness checks."""
+    rows = np.array([0, 0, 1, 2, 3, 4, 1, 5])
+    cols = np.array([1, 2, 3, 4, 5, 5, 4, 0])
+    A = sp.coo_matrix((np.ones(8), (rows, cols)), shape=(6, 6))
+    return sp.csr_matrix(A + A.T)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path, small_powerlaw):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(path, small_powerlaw, pattern=True)
+    return str(path)
+
+
+class TestCli:
+    def test_corpus_lists_ten(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "hollywood-2009" in out and "rmat_26" in out
+
+    def test_stats_on_corpus_name(self, capsys):
+        assert main(["stats", "rmat_22"]) == 0
+        out = capsys.readouterr().out
+        assert "nonzeros" in out and "power-law" in out
+
+    def test_stats_on_file(self, mtx_file, capsys):
+        assert main(["stats", mtx_file]) == 0
+        assert "rows" in capsys.readouterr().out
+
+    def test_unknown_matrix_errors(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["stats", "no-such-thing"])
+
+    def test_partition_saves_output(self, mtx_file, tmp_path, capsys):
+        out_file = tmp_path / "part.npy"
+        assert main(["partition", mtx_file, "-k", "4", "-o", str(out_file)]) == 0
+        part = np.load(out_file)
+        assert part.max() == 3
+        assert "imbalance" in capsys.readouterr().out
+
+    def test_spmv_comparison(self, mtx_file, capsys):
+        assert main([
+            "spmv", mtx_file, "-p", "4", "--methods", "1d-block", "2d-random",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1D-Block" in out and "2D-Random" in out
+
+    def test_eigen_comparison(self, mtx_file, capsys):
+        assert main([
+            "eigen", mtx_file, "-p", "4", "-k", "3", "--tol", "1e-2",
+            "--methods", "1d-block", "2d-random",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matvecs" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

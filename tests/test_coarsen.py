@@ -1,0 +1,110 @@
+"""Tests for repro.partitioning.coarsen — matching and contraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import grid2d, rmat
+from repro.graphs import from_edges
+from repro.partitioning import PartGraph
+from repro.partitioning.coarsen import (
+    coarsen_level,
+    coarsen_to,
+    contract,
+    handshake_matching,
+)
+
+
+def _star(nleaves: int) -> PartGraph:
+    """Hub 0 with nleaves leaves — the scale-free worst case for matching."""
+    r = np.zeros(nleaves, dtype=np.int64)
+    c = np.arange(1, nleaves + 1, dtype=np.int64)
+    A = from_edges(r, c, (nleaves + 1, nleaves + 1), symmetrize=True)
+    return PartGraph.from_matrix(A, "unit")
+
+
+def _check_matching(g: PartGraph, match: np.ndarray) -> None:
+    """A matching must be an involution with distinct pairs."""
+    assert len(match) == g.n
+    for v in range(g.n):
+        assert match[match[v]] == v  # involution
+
+
+class TestHandshakeMatching:
+    def test_involution_on_grid(self, rng):
+        g = PartGraph.from_matrix(grid2d(10, 10), "unit")
+        match = handshake_matching(g, rng)
+        _check_matching(g, match)
+        matched = (match != np.arange(g.n)).sum()
+        assert matched >= 0.6 * g.n  # grids match well
+
+    def test_star_graph_two_hop(self, rng):
+        """Direct matching can pair at most hub+1 leaf; two-hop pairs the rest."""
+        g = _star(64)
+        match = handshake_matching(g, rng)
+        _check_matching(g, match)
+        matched = (match != np.arange(g.n)).sum()
+        assert matched >= 0.9 * g.n  # two-hop pairs leaves with each other
+
+    def test_weight_cap_respected(self, rng):
+        g = PartGraph.from_matrix(grid2d(6, 6), "unit")
+        cap = np.array([1.5])  # combined weight 2 > 1.5: nothing may match
+        match = handshake_matching(g, rng, max_vertex_weight=cap)
+        assert (match == np.arange(g.n)).all()
+
+    def test_deterministic_given_rng_seed(self):
+        g = PartGraph.from_matrix(rmat(8, 4, seed=1), "unit")
+        m1 = handshake_matching(g, np.random.default_rng(5))
+        m2 = handshake_matching(g, np.random.default_rng(5))
+        assert np.array_equal(m1, m2)
+
+
+class TestContract:
+    def test_preserves_total_vertex_weight(self, rng, small_rmat):
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        match = handshake_matching(g, rng)
+        gc, cmap = contract(g, match)
+        assert np.allclose(gc.total_weight(), g.total_weight())
+        assert cmap.max() == gc.n - 1
+
+    def test_preserves_cut_under_projection(self, rng, small_grid):
+        """Any coarse partition's cut equals the projected fine cut."""
+        g = PartGraph.from_matrix(small_grid, "unit")
+        gc, cmap = coarsen_level(g, rng)
+        coarse_part = np.random.default_rng(1).integers(0, 2, gc.n)
+        fine_part = coarse_part[cmap]
+        assert np.isclose(gc.edgecut(coarse_part), g.edgecut(fine_part))
+
+    def test_matched_pair_merges(self):
+        g = _star(3)
+        match = np.array([0, 2, 1, 3])  # leaves 1,2 matched
+        gc, cmap = contract(g, match)
+        assert gc.n == 3
+        assert cmap[1] == cmap[2]
+        # merged leaf pair connects to hub with weight 2
+        hub_c = cmap[0]
+        pair_c = cmap[1]
+        W = gc.adjacency_matrix()
+        assert W[hub_c, pair_c] == 2.0
+
+
+class TestCoarsenTo:
+    def test_reaches_target_or_stalls(self, rng, small_rmat):
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        levels = coarsen_to(g, 100, rng)
+        sizes = [lv[0].n for lv in levels]
+        assert sizes[0] == g.n
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))  # strictly shrinking
+        assert sizes[-1] <= max(100, int(sizes[-2] * 0.95)) or len(sizes) == 1
+
+    def test_weight_conserved_through_stack(self, rng, small_powerlaw):
+        g = PartGraph.from_matrix(small_powerlaw, "nnz")
+        levels = coarsen_to(g, 50, rng)
+        for gc, _ in levels:
+            assert np.allclose(gc.total_weight(), g.total_weight())
+
+    def test_scale_free_shrinks_geometrically(self, rng, small_rmat):
+        """The two-hop rule must keep shrink rates healthy on power laws."""
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        levels = coarsen_to(g, 100, rng)
+        assert levels[-1][0].n < 0.25 * g.n

@@ -1,0 +1,138 @@
+"""Tests for repro.graphs.csr — canonical CSR construction helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    as_csr,
+    drop_diagonal,
+    empty_csr,
+    from_edges,
+    is_structurally_symmetric,
+    nonzeros_per_col,
+    nonzeros_per_row,
+    pattern_equal,
+)
+
+
+class TestAsCsr:
+    def test_coerces_dense(self):
+        M = as_csr(np.eye(3))
+        assert sp.issparse(M) and M.format == "csr"
+        assert M.dtype == np.float64
+        assert M.nnz == 3
+
+    def test_removes_explicit_zeros(self):
+        A = sp.csr_matrix((np.array([1.0, 0.0]), (np.array([0, 1]), np.array([1, 0]))), shape=(2, 2))
+        assert as_csr(A).nnz == 1
+
+    def test_merges_duplicates(self):
+        A = sp.coo_matrix((np.ones(3), ([0, 0, 1], [1, 1, 0])), shape=(2, 2))
+        M = as_csr(A)
+        assert M.nnz == 2
+        assert M[0, 1] == 2.0  # duplicates summed for value matrices
+
+    def test_idempotent(self):
+        A = as_csr(sp.random(20, 20, density=0.2, random_state=1))
+        B = as_csr(A)
+        assert pattern_equal(A, B)
+        assert np.allclose(A.data, B.data)
+
+    def test_sorted_indices(self):
+        A = as_csr(sp.random(30, 30, density=0.3, random_state=2))
+        assert A.has_sorted_indices
+
+
+class TestFromEdges:
+    def test_basic(self):
+        M = from_edges([0, 1], [1, 2], (3, 3))
+        assert M.nnz == 2
+        assert M[0, 1] == 1.0
+
+    def test_duplicates_collapse_to_pattern(self):
+        M = from_edges([0, 0, 0], [1, 1, 1], (2, 2))
+        assert M.nnz == 1
+        assert M[0, 1] == 1.0
+
+    def test_symmetrize(self):
+        M = from_edges([0], [1], (3, 3), symmetrize=True)
+        assert M[0, 1] == 1.0 and M[1, 0] == 1.0
+
+    def test_explicit_values_summed(self):
+        M = from_edges([0, 0], [1, 1], (2, 2), values=[2.0, 3.0])
+        assert M[0, 1] == 5.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            from_edges([0, 1], [1], (3, 3))
+
+    def test_empty(self):
+        M = from_edges([], [], (4, 4))
+        assert M.nnz == 0 and M.shape == (4, 4)
+
+
+class TestStructure:
+    def test_empty_csr(self):
+        M = empty_csr(3, 5)
+        assert M.shape == (3, 5) and M.nnz == 0
+
+    def test_pattern_equal_ignores_values(self):
+        A = from_edges([0, 1], [1, 0], (2, 2), values=[1.0, 2.0])
+        B = from_edges([0, 1], [1, 0], (2, 2), values=[9.0, 9.0])
+        assert pattern_equal(A, B)
+
+    def test_pattern_equal_shape_mismatch(self):
+        assert not pattern_equal(empty_csr(2, 2), empty_csr(3, 3))
+
+    def test_structural_symmetry(self, tiny_matrix):
+        assert is_structurally_symmetric(tiny_matrix)
+        assert not is_structurally_symmetric(from_edges([0], [1], (2, 2)))
+        assert not is_structurally_symmetric(empty_csr(2, 3))
+
+    def test_drop_diagonal(self):
+        M = from_edges([0, 1, 1], [0, 1, 0], (2, 2))
+        D = drop_diagonal(M)
+        assert D.nnz == 1 and D[1, 0] == 1.0
+
+    def test_nnz_per_row_col(self):
+        M = from_edges([0, 0, 1], [0, 1, 1], (2, 3))
+        assert nonzeros_per_row(M).tolist() == [2, 1]
+        assert nonzeros_per_col(M).tolist() == [1, 2, 0]
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=120))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64)
+
+
+class TestProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_from_edges_pattern_is_set_of_pairs(self, data):
+        n, rows, cols = data
+        M = from_edges(rows, cols, (n, n))
+        expected = len({(r, c) for r, c in zip(rows.tolist(), cols.tolist())})
+        assert M.nnz == expected
+        if M.nnz:
+            assert (M.data == 1.0).all()
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetrize_gives_symmetric_pattern(self, data):
+        n, rows, cols = data
+        M = from_edges(rows, cols, (n, n), symmetrize=True)
+        assert is_structurally_symmetric(M)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_row_col_counts_sum_to_nnz(self, data):
+        n, rows, cols = data
+        M = from_edges(rows, cols, (n, n))
+        assert nonzeros_per_row(M).sum() == M.nnz
+        assert nonzeros_per_col(M).sum() == M.nnz

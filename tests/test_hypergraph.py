@@ -1,0 +1,119 @@
+"""Tests for the hypergraph model and its partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.generators import grid2d, rmat
+from repro.graphs import from_edges
+from repro.partitioning import Hypergraph, hypergraph_recursive_bisection
+from repro.partitioning.hcoarsen import hcontract, similarity_graph
+from repro.partitioning.hkway import multilevel_hypergraph_bisect
+from repro.partitioning.hrefine import fm_refine_hypergraph, hg_balance_allowance
+
+
+@pytest.fixture
+def tiny_hg(tiny_matrix) -> Hypergraph:
+    return Hypergraph.from_matrix_column_net(tiny_matrix)
+
+
+class TestColumnNetModel:
+    def test_net_contains_column_pattern_plus_self(self, tiny_matrix):
+        hg = Hypergraph.from_matrix_column_net(tiny_matrix)
+        assert hg.nnets == hg.n == tiny_matrix.shape[0]
+        A = tiny_matrix.tocsc()
+        for j in range(hg.nnets):
+            col_rows = set(A.indices[A.indptr[j]: A.indptr[j + 1]].tolist())
+            assert set(hg.pins(j).tolist()) == col_rows | {j}
+
+    def test_rectangular_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            Hypergraph.from_matrix_column_net(from_edges([0], [1], (2, 3)))
+
+    def test_transpose_consistency(self, tiny_hg):
+        for v in range(tiny_hg.n):
+            for e in tiny_hg.nets_of(v):
+                assert v in tiny_hg.pins(e)
+
+
+class TestCutMetrics:
+    def test_connectivity_brute_force(self, tiny_hg, rng):
+        part = rng.integers(0, 3, tiny_hg.n)
+        lam = tiny_hg.connectivity(part, 3)
+        for e in range(tiny_hg.nnets):
+            assert lam[e] == len(set(part[tiny_hg.pins(e)].tolist()))
+
+    def test_connectivity_minus_one_is_expand_volume(self, tiny_hg):
+        """For a single part, the cut is zero."""
+        assert tiny_hg.cut_connectivity_minus_one(np.zeros(tiny_hg.n, dtype=int), 1) == 0.0
+
+    def test_cut_nets_counts_spanning_nets(self, tiny_hg, rng):
+        part = rng.integers(0, 2, tiny_hg.n)
+        lam = tiny_hg.connectivity(part, 2)
+        assert tiny_hg.cut_nets(part, 2) == (lam > 1).sum()
+
+    def test_part_weights(self, tiny_hg):
+        part = np.array([0, 0, 1, 1, 1, 0])
+        pw = tiny_hg.part_weights(part, 2)
+        assert np.isclose(pw.sum(), tiny_hg.total_weight()[0])
+
+
+class TestInduced:
+    def test_small_nets_dropped(self, tiny_hg):
+        sub = tiny_hg.induced(np.array([0, 1]))
+        assert sub.n == 2
+        assert (np.diff(sub.H.indptr) >= 2).all()
+
+
+class TestCoarsening:
+    def test_similarity_excludes_huge_nets(self, small_rmat):
+        hg = Hypergraph.from_matrix_column_net(small_rmat)
+        sim = similarity_graph(hg, max_net_size=10)
+        # similarity fill must stay well below the quadratic hub blowup
+        assert sim.xadj[-1] < 40 * hg.n
+
+    def test_contract_preserves_weight(self, tiny_hg):
+        match = np.array([1, 0, 3, 2, 4, 5])
+        hgc, cmap = hcontract(tiny_hg, match)
+        assert np.isclose(hgc.total_weight()[0], tiny_hg.total_weight()[0])
+        assert hgc.n == 4
+        assert cmap[0] == cmap[1]
+
+
+class TestHypergraphFM:
+    def test_improves_random_bisection(self, small_powerlaw):
+        hg = Hypergraph.from_matrix_column_net(small_powerlaw)
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 2, hg.n)
+        before = hg.cut_connectivity_minus_one(part, 2)
+        refined = fm_refine_hypergraph(hg, part, passes=3)
+        assert hg.cut_connectivity_minus_one(refined, 2) < before
+
+    def test_allowance_shape(self, tiny_hg):
+        allow = hg_balance_allowance(tiny_hg, (0.5, 0.5), 1.05)
+        assert allow.shape == (2, tiny_hg.ncon)
+
+
+class TestHypergraphKway:
+    def test_bisection_beats_random_on_grid(self, small_grid):
+        hg = Hypergraph.from_matrix_column_net(small_grid)
+        part = multilevel_hypergraph_bisect(hg, seed=0)
+        rnd = np.random.default_rng(0).integers(0, 2, hg.n)
+        assert hg.cut_connectivity_minus_one(part, 2) < 0.3 * hg.cut_connectivity_minus_one(rnd, 2)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_kway_valid(self, small_powerlaw, k):
+        hg = Hypergraph.from_matrix_column_net(small_powerlaw)
+        part = hypergraph_recursive_bisection(hg, k, seed=0)
+        assert part.min() >= 0 and part.max() <= k - 1
+        assert len(np.unique(part)) == k
+
+    def test_kway_deterministic(self, small_powerlaw):
+        hg = Hypergraph.from_matrix_column_net(small_powerlaw)
+        p1 = hypergraph_recursive_bisection(hg, 4, seed=7)
+        p2 = hypergraph_recursive_bisection(hg, 4, seed=7)
+        assert np.array_equal(p1, p2)
+
+    def test_invalid_nparts(self, small_powerlaw):
+        hg = Hypergraph.from_matrix_column_net(small_powerlaw)
+        with pytest.raises(ValueError, match="nparts"):
+            hypergraph_recursive_bisection(hg, 0)

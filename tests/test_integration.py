@@ -1,0 +1,156 @@
+"""End-to-end integration tests: the paper's qualitative claims, miniature.
+
+These are the "does the reproduction reproduce" tests — each asserts one of
+the paper's headline findings on a small instance the suite can afford.
+
+A scaling caveat, documented in EXPERIMENTS.md: our proxies run with ~16x
+fewer rows per process than the paper's instances, which makes pure R-MAT
+graphs (near-zero exploitable structure at 64 rows/part) the hardest case
+— there 2D-GP ties 2D-Random within a few percent rather than strictly
+winning every cell. On the structured scale-free graphs that make up most
+of the corpus (social, web, BTER), the strict ordering holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import performance_profile, fraction_best, run_spmv_cell, spmv_grid
+from repro.bench.eigen import eigen_grid
+from repro.generators import rmat, webgraph
+from repro.graphs import normalized_laplacian
+from repro.layouts import make_layout
+from repro.runtime import CAB, DistSparseMatrix
+from repro.solvers import solve_profile, modeled_solve_seconds
+
+METHODS6 = ["1d-block", "1d-random", "1d-gp", "2d-block", "2d-random", "2d-gp"]
+
+
+@pytest.fixture(scope="module")
+def structured_graph():
+    """Scale-free graph with community/host structure (the common case).
+
+    Sized so that p=64 still has ~300 rows per process — small p relative
+    to n is what lets 2D keep scaling where 1D stops (a tiny matrix hits
+    the latency floor for every layout and the scaling claim is vacuous).
+    """
+    return webgraph(20000, mean_degree=14, intra_fraction=0.85, seed=2)
+
+
+@pytest.fixture(scope="module")
+def medium_rmat():
+    return rmat(scale=12, edge_factor=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def sweep(structured_graph):
+    # deterministic input -> safe to use the persistent partition cache,
+    # which makes repeated test runs fast
+    return spmv_grid({"web": structured_graph}, METHODS6, procs=(4, 16, 64))
+
+
+class TestPaperClaims:
+    def test_2d_gp_wins_at_scale(self, sweep):
+        """Claim: 2D-GP/HP produces the fastest SpMV at large p."""
+        for p in (16, 64):
+            at_p = {r.method: r.time100 for r in sweep if r.nprocs == p}
+            assert at_p["2D-GP"] == min(at_p.values())
+
+    def test_1d_loses_scaling_2d_keeps_it(self, sweep):
+        """Claim (Fig 5): above some p, 1D times rise while 2D still falls."""
+        def series(method):
+            return [r.time100 for r in sorted(
+                (r for r in sweep if r.method == method), key=lambda r: r.nprocs)]
+
+        oned = series("1D-Block")
+        twod = series("2D-GP")
+        assert twod[2] < twod[1] < twod[0]  # 2D scaling through p=64
+        assert oned[2] > oned[1]  # 1D turned upward
+        assert oned[2] / twod[2] > 2.0  # 1D clearly behind at max p
+
+    def test_message_counts_explain_it(self, sweep):
+        """Claim (Table 3): 1D msgs -> p-1, 2D msgs <= pr+pc-2."""
+        for r in sweep:
+            if r.nprocs != 64:
+                continue
+            if r.method.startswith("1D"):
+                assert r.stats.max_messages > 30  # approaches p-1 = 63
+            else:
+                assert r.stats.max_messages <= 14  # 8+8-2
+
+    def test_gp_reduces_volume_vs_random(self, sweep):
+        """Claim: partitioning exploits structure even on scale-free graphs."""
+        for p in (16, 64):
+            cv = {r.method: r.stats.total_comm_volume for r in sweep if r.nprocs == p}
+            assert cv["1D-GP"] < cv["1D-Random"]
+            assert cv["2D-GP"] < cv["2D-Random"]
+
+    def test_profile_2dgp_best_fraction(self, sweep):
+        prof = performance_profile(sweep)
+        assert fraction_best(prof, "2D-GP") > 0.6
+        assert fraction_best(prof, "2D-GP", tol=1.05) == 1.0  # within 5% always
+
+    def test_rmat_worst_case_still_competitive(self, medium_rmat, tmp_path):
+        """On structureless R-MAT at harsh rows-per-process ratios, 2D-GP
+        must stay within a few percent of the best method (the paper's one
+        negative cell, uk-2005@64, was -5.9%)."""
+        times = {}
+        for m in ("2d-gp", "2d-random", "2d-block"):
+            times[m] = run_spmv_cell(medium_rmat, "rmat", m, 64, cache_dir=tmp_path).time100
+        assert times["2d-gp"] <= 1.06 * min(times.values())
+
+
+class TestWebgraphClaims:
+    def test_randomization_hurts_local_graphs(self, structured_graph, tmp_path):
+        """Claim (wb-edu): on graphs with locality, 1D-Random's extra volume
+        outweighs its balance gain vs 1D-Block."""
+        blk = run_spmv_cell(structured_graph, "web", "1d-block", 16, cache_dir=tmp_path)
+        rnd = run_spmv_cell(structured_graph, "web", "1d-random", 16, cache_dir=tmp_path)
+        assert rnd.stats.total_comm_volume > 1.3 * blk.stats.total_comm_volume
+
+    def test_gp_exploits_web_structure(self, structured_graph, tmp_path):
+        gp = run_spmv_cell(structured_graph, "web", "1d-gp", 16, cache_dir=tmp_path)
+        rnd = run_spmv_cell(structured_graph, "web", "1d-random", 16, cache_dir=tmp_path)
+        assert gp.stats.total_comm_volume < 0.7 * rnd.stats.total_comm_volume
+        assert gp.time100 < rnd.time100
+
+
+class TestEigenClaims:
+    def test_intro_claim_spmv_dominates_and_layout_fixes_it(self, medium_rmat):
+        """Intro: '1D-block at p: SpMV 95% of solve; layout change cut SpMV
+        69% and solve 64%'. At proxy scale the same structure appears at
+        p=64 with slightly softer numbers."""
+        Lhat = normalized_laplacian(medium_rmat)
+        prof = solve_profile(Lhat, k=10, tol=1e-3, seed=0)
+        blk = DistSparseMatrix(Lhat, make_layout("1d-block", medium_rmat, 64), CAB)
+        total_blk, spmv_blk = modeled_solve_seconds(prof, blk)
+        assert spmv_blk / total_blk > 0.7  # SpMV dominates 1D-Block solves
+
+        gpmc = DistSparseMatrix(Lhat, make_layout("2d-gp-mc", medium_rmat, 64, seed=0), CAB)
+        total_gp, spmv_gp = modeled_solve_seconds(prof, gpmc)
+        assert spmv_gp < 0.4 * spmv_blk  # SpMV time cut hard
+        assert total_gp < 0.5 * total_blk  # solve time cut hard
+
+    def test_table5_mechanism_vector_imbalance(self, medium_rmat, tmp_path):
+        """Table 5: nnz-balanced 2D-GP leaves vectors imbalanced; the MC
+        variant balances both and wins the total solve time."""
+        Lhat = normalized_laplacian(medium_rmat)
+        prof = solve_profile(Lhat, k=10, tol=1e-3, seed=0)
+        results = {}
+        for m in ("2d-gp", "2d-gp-mc"):
+            lay = make_layout(m, medium_rmat, 16, seed=0)
+            dist = DistSparseMatrix(Lhat, lay, CAB)
+            results[m] = (modeled_solve_seconds(prof, dist)[0], dist.vector_map.imbalance())
+        assert results["2d-gp"][1] > 2.0  # plain GP: vectors imbalanced
+        assert results["2d-gp-mc"][1] < 1.3  # MC: balanced
+        assert results["2d-gp-mc"][0] < results["2d-gp"][0]  # and faster
+
+    def test_eigen_grid_smoke(self, tmp_path):
+        recs = eigen_grid(
+            ["rmat_22"], ["1d-block", "2d-gp-mc"], procs=(4, 16), k=4, tol=1e-2,
+            nstarts=1, cache_dir=tmp_path,
+        )
+        assert len(recs) == 4
+        for r in recs:
+            assert r.solve_time >= r.spmv_time > 0
+        at16 = {r.method: r.solve_time for r in recs if r.nprocs == 16}
+        assert at16["2D-GP-MC"] < at16["1D-Block"]

@@ -1,0 +1,182 @@
+"""Tests for repro.layouts — the six data distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layouts import (
+    LAYOUT_NAMES,
+    Layout,
+    block_rpart,
+    canonical_name,
+    cartesian_layout,
+    make_layout,
+    nonzero_partition,
+    oned_layout,
+    process_grid_shape,
+    random_rpart,
+)
+
+
+class TestProcessGrid:
+    @pytest.mark.parametrize("p,expected", [(1, (1, 1)), (4, (2, 2)), (16, (4, 4)),
+                                            (64, (8, 8)), (12, (3, 4)), (6, (2, 3))])
+    def test_most_square(self, p, expected):
+        assert process_grid_shape(p) == expected
+
+    def test_prime(self):
+        assert process_grid_shape(7) == (1, 7)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            process_grid_shape(0)
+
+
+class TestRpartProviders:
+    def test_block_contiguous_and_balanced(self):
+        r = block_rpart(10, 3)
+        assert (np.diff(r) >= 0).all()  # non-decreasing = contiguous blocks
+        counts = np.bincount(r, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_block_p_greater_than_n(self):
+        r = block_rpart(2, 5)
+        assert len(np.unique(r)) == 2
+
+    def test_random_covers_parts(self):
+        r = random_rpart(5000, 16, seed=1)
+        assert len(np.unique(r)) == 16
+        counts = np.bincount(r, minlength=16)
+        assert counts.max() / counts.mean() < 1.3
+
+    def test_random_deterministic(self):
+        assert np.array_equal(random_rpart(100, 4, seed=2), random_rpart(100, 4, seed=2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_rpart(5, 0)
+        with pytest.raises(ValueError):
+            random_rpart(5, 0)
+
+
+class TestAlgorithm2:
+    """nonzero_partition IS the paper's Algorithm 2 — check it literally."""
+
+    def test_phi_psi_formulas(self):
+        rpart = np.arange(12, dtype=np.int64) % 6  # p = 6 = 2 x 3
+        procrow, proccol = nonzero_partition(rpart, 2, 3)
+        assert np.array_equal(procrow, rpart % 2)  # phi(k) = rpart(k) mod pr
+        assert np.array_equal(proccol, rpart // 2)  # psi(k) = rpart(k) div pr
+
+    def test_swapped(self):
+        rpart = np.arange(12, dtype=np.int64) % 6
+        procrow, proccol = nonzero_partition(rpart, 2, 3, swap=True)
+        assert np.array_equal(procrow, rpart // 3)
+        assert np.array_equal(proccol, rpart % 3)
+
+    def test_out_of_range_rpart(self):
+        with pytest.raises(ValueError, match="rpart"):
+            nonzero_partition(np.array([6]), 2, 3)
+
+    def test_diagonal_rank_equals_rpart_in_fixed_orientation(self):
+        rpart = np.random.default_rng(0).integers(0, 6, 50)
+        procrow, proccol = nonzero_partition(rpart, 2, 3)
+        assert np.array_equal(procrow + proccol * 2, rpart)
+
+
+class TestLayoutObject:
+    def test_oned_properties(self):
+        rpart = np.array([0, 1, 2, 0], dtype=np.int64)
+        lay = oned_layout("1D-X", rpart, 3)
+        assert lay.is_one_dimensional()
+        assert lay.max_messages_bound() == 2
+        assert np.array_equal(lay.nonzero_owner(np.array([0, 3]), np.array([2, 1])),
+                              np.array([0, 0]))  # 1D: row owner
+
+    def test_grid_mismatch_raises(self):
+        with pytest.raises(ValueError, match="grid"):
+            Layout("x", 4, 2, 3, np.zeros(2, dtype=np.int64),
+                   np.zeros(2, dtype=np.int64), np.zeros(2, dtype=np.int64))
+
+    def test_out_of_range_vector_part(self):
+        with pytest.raises(ValueError, match="vector_part"):
+            Layout("x", 2, 2, 1, np.array([0, 5]), np.array([0, 1]), np.array([0, 0]))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("method", ["1d-block", "1d-random", "2d-block", "2d-random"])
+    def test_cheap_methods(self, small_rmat, method):
+        lay = make_layout(method, small_rmat, 8, seed=1)
+        assert lay.nprocs == 8
+        assert lay.name == canonical_name(method)
+        if method.startswith("1d"):
+            assert lay.pc == 1
+        else:
+            assert lay.pr * lay.pc == 8
+
+    def test_partitioned_methods(self, small_powerlaw):
+        lay = make_layout("2d-gp", small_powerlaw, 4, seed=0)
+        assert lay.name == "2D-GP"
+        assert lay.pr == lay.pc == 2
+
+    def test_precomputed_rpart_respected(self, small_rmat):
+        rpart = random_rpart(small_rmat.shape[0], 4, seed=9)
+        lay = make_layout("2d-gp", small_rmat, 4, rpart=rpart)
+        assert np.array_equal(lay.vector_part, rpart)
+
+    def test_rpart_length_mismatch(self, small_rmat):
+        with pytest.raises(ValueError, match="rpart length"):
+            make_layout("1d-gp", small_rmat, 4, rpart=np.zeros(3, dtype=np.int64))
+
+    def test_unknown_method(self, small_rmat):
+        with pytest.raises(ValueError, match="unknown layout"):
+            make_layout("3d-torus", small_rmat, 4)
+
+    def test_all_names_have_display(self):
+        for name in LAYOUT_NAMES:
+            assert canonical_name(name)
+
+
+class TestCartesianOrientation:
+    def test_best_picks_lower_imbalance(self, small_rmat):
+        rpart = block_rpart(small_rmat.shape[0], 4)
+        best = cartesian_layout("2D-X", small_rmat, rpart, 2, 2, orientation="best")
+        from repro.layouts import nonzero_balance
+
+        fixed = nonzero_partition(rpart, 2, 2, swap=False)
+        swapped = nonzero_partition(rpart, 2, 2, swap=True)
+        bal_best = nonzero_balance(small_rmat, best.procrow, best.proccol, 2, 2)
+        bal_f = nonzero_balance(small_rmat, *fixed, 2, 2)
+        bal_s = nonzero_balance(small_rmat, *swapped, 2, 2)
+        assert bal_best == min(bal_f, bal_s)
+
+    def test_invalid_orientation(self, small_rmat):
+        rpart = block_rpart(small_rmat.shape[0], 4)
+        with pytest.raises(ValueError, match="orientation"):
+            cartesian_layout("x", small_rmat, rpart, 2, 2, orientation="diagonal")
+
+    def test_vector_collocated_with_diagonal(self, small_rmat):
+        """Invariant: x_k lives at grid process (phi(k), psi(k))."""
+        rpart = random_rpart(small_rmat.shape[0], 6, seed=2)
+        for orient in ("fixed", "swapped"):
+            lay = cartesian_layout("x", small_rmat, rpart, 2, 3, orientation=orient)
+            assert np.array_equal(lay.vector_part, lay.procrow + lay.proccol * lay.pr)
+
+
+@given(
+    n=st.integers(4, 60),
+    pr=st.integers(1, 4),
+    pc=st.integers(1, 4),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_message_bound_structural(n, pr, pc, seed):
+    """All vector entries owned by one rank share one grid column (the
+    structural fact behind the pr+pc-2 message bound of section 3.2)."""
+    p = pr * pc
+    rpart = random_rpart(n, p, seed=seed)
+    procrow, proccol = nonzero_partition(rpart, pr, pc)
+    owner_rank = procrow + proccol * pr
+    for q in range(p):
+        cols = np.unique(proccol[owner_rank == q])
+        assert len(cols) <= 1

@@ -1,0 +1,37 @@
+"""Tests for the per-rank memory model."""
+
+import numpy as np
+
+from repro.layouts import make_layout
+from repro.runtime import DistSparseMatrix
+
+
+class TestMemoryModel:
+    def test_total_scales_with_problem(self, small_rmat):
+        lay = make_layout("1d-block", small_rmat, 4)
+        dist = DistSparseMatrix(small_rmat, lay)
+        mem = dist.memory_per_rank()
+        assert len(mem) == 4
+        # at least the raw CSR payload must be accounted for
+        assert mem.sum() >= 12 * small_rmat.nnz
+
+    def test_block_layout_memory_spike(self, small_rmat):
+        """The paper's OOM scenario: block layouts concentrate hub rows."""
+        blk = DistSparseMatrix(small_rmat, make_layout("1d-block", small_rmat, 8))
+        rnd = DistSparseMatrix(small_rmat, make_layout("1d-random", small_rmat, 8, seed=1))
+        assert blk.memory_imbalance() > 1.5
+        assert rnd.memory_imbalance() < blk.memory_imbalance()
+
+    def test_single_rank_no_ghosts(self, small_grid):
+        dist = DistSparseMatrix(small_grid, make_layout("1d-block", small_grid, 1))
+        assert dist.memory_imbalance() == 1.0
+        mem = dist.memory_per_rank()[0]
+        n, nnz = small_grid.shape[0], small_grid.nnz
+        expected = 12 * nnz + 4 * (n + 1) + 8 * (2 * n + n)
+        assert mem == expected
+
+    def test_ghost_buffers_counted(self, small_grid):
+        """More communication -> more buffer memory, all else equal."""
+        local = DistSparseMatrix(small_grid, make_layout("1d-block", small_grid, 4))
+        scattered = DistSparseMatrix(small_grid, make_layout("1d-random", small_grid, 4, seed=2))
+        assert scattered.memory_per_rank().sum() > local.memory_per_rank().sum()

@@ -1,0 +1,52 @@
+"""Tests for the data-migration cost model."""
+
+import numpy as np
+import pytest
+
+from repro.layouts import make_layout
+from repro.runtime import migration_stats
+
+
+class TestMigration:
+    def test_identity_migration_free(self, small_rmat):
+        lay = make_layout("1d-block", small_rmat, 4)
+        s = migration_stats(small_rmat, lay, lay)
+        assert s.moved_nonzeros == 0
+        assert s.moved_vector_entries == 0
+        assert s.total_words == 0
+        assert s.modeled_seconds == 0.0
+
+    def test_counts_exact_on_tiny_case(self, tiny_matrix):
+        a = make_layout("1d-block", tiny_matrix, 2)
+        b = make_layout("1d-random", tiny_matrix, 2, seed=5)
+        s = migration_stats(tiny_matrix, a, b)
+        coo = tiny_matrix.tocoo()
+        moved = (a.nonzero_owner(coo.row, coo.col) != b.nonzero_owner(coo.row, coo.col)).sum()
+        moved_v = (a.vector_part != b.vector_part).sum()
+        assert s.moved_nonzeros == moved
+        assert s.moved_vector_entries == moved_v
+        assert s.total_words == 3 * moved + 2 * moved_v
+
+    def test_1d_to_2d_similar_to_1d_to_1d(self, small_powerlaw):
+        """The paper's claim: migrating to the 2D layout costs about the
+        same as migrating to the underlying 1D partition (same rpart)."""
+        from repro.layouts import random_rpart
+
+        p = 16
+        start = make_layout("1d-block", small_powerlaw, p)
+        rpart = random_rpart(small_powerlaw.shape[0], p, seed=3)
+        to_1d = make_layout("1d-gp", small_powerlaw, p, rpart=rpart)
+        to_2d = make_layout("2d-gp", small_powerlaw, p, rpart=rpart)
+        s1 = migration_stats(small_powerlaw, start, to_1d)
+        s2 = migration_stats(small_powerlaw, start, to_2d)
+        assert s2.total_words < 1.5 * s1.total_words
+        # vector movement is identical: both share rpart
+        assert s1.moved_vector_entries == s2.moved_vector_entries
+
+    def test_modeled_seconds_positive_when_moving(self, small_rmat):
+        a = make_layout("1d-block", small_rmat, 4)
+        b = make_layout("2d-random", small_rmat, 4, seed=1)
+        s = migration_stats(small_rmat, a, b)
+        assert s.moved_nonzeros > 0
+        assert s.modeled_seconds > 0
+        assert s.max_rank_words <= s.total_words * 2

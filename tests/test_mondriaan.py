@@ -1,0 +1,93 @@
+"""Tests for the explicit-layout machinery and the Mondriaan partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.generators import grid2d
+from repro.layouts import make_layout
+from repro.layouts.explicit import ExplicitLayout
+from repro.layouts.mondriaan import mondriaan_layout
+from repro.runtime import DistSparseMatrix, comm_stats
+
+
+class TestExplicitLayout:
+    def test_roundtrip_ownership(self, tiny_matrix):
+        nnz = tiny_matrix.nnz
+        ranks = np.arange(nnz, dtype=np.int64) % 3
+        vec = np.zeros(6, dtype=np.int64)
+        lay = ExplicitLayout("X", tiny_matrix, ranks, vec, 3)
+        coo = tiny_matrix.tocoo()
+        got = lay.nonzero_owner(coo.row, coo.col)
+        assert np.array_equal(got, ranks)
+
+    def test_missing_nonzero_rejected(self, tiny_matrix):
+        lay = ExplicitLayout(
+            "X", tiny_matrix, np.zeros(tiny_matrix.nnz, dtype=np.int64),
+            np.zeros(6, dtype=np.int64), 1,
+        )
+        with pytest.raises(ValueError, match="pattern"):
+            lay.nonzero_owner(np.array([0]), np.array([0]))  # (0,0) is empty
+
+    def test_validation(self, tiny_matrix):
+        with pytest.raises(ValueError, match="length"):
+            ExplicitLayout("X", tiny_matrix, np.zeros(3, dtype=np.int64),
+                           np.zeros(6, dtype=np.int64), 2)
+        with pytest.raises(ValueError, match="range"):
+            ExplicitLayout("X", tiny_matrix, np.full(tiny_matrix.nnz, 9),
+                           np.zeros(6, dtype=np.int64), 2)
+
+    def test_spmv_with_arbitrary_assignment(self, small_rmat, rng):
+        ranks = rng.integers(0, 5, small_rmat.nnz)
+        vec = rng.integers(0, 5, small_rmat.shape[0])
+        lay = ExplicitLayout("scatter", small_rmat, ranks, vec, 5)
+        dist = DistSparseMatrix(small_rmat, lay)
+        x = rng.standard_normal(small_rmat.shape[0])
+        assert np.abs(dist.spmv(x) - small_rmat @ x).max() < 1e-10
+
+
+class TestMondriaan:
+    @pytest.fixture(scope="class")
+    def grid_mondriaan(self):
+        A = grid2d(24, 24)
+        return A, mondriaan_layout(A, 8, seed=0)
+
+    def test_spmv_exact(self, grid_mondriaan, rng):
+        A, lay = grid_mondriaan
+        dist = DistSparseMatrix(A, lay)
+        x = rng.standard_normal(A.shape[0])
+        assert np.abs(dist.spmv(x) - A @ x).max() < 1e-10
+
+    def test_nonzero_balance(self, grid_mondriaan):
+        A, lay = grid_mondriaan
+        dist = DistSparseMatrix(A, lay)
+        assert comm_stats(dist).nnz_imbalance < 1.6
+
+    def test_vector_balance_and_locality(self, grid_mondriaan):
+        A, lay = grid_mondriaan
+        counts = np.bincount(lay.vector_part, minlength=8)
+        assert counts.max() / counts.mean() < 1.6
+        # every vector entry sits on a rank that touches its row or column
+        coo = A.tocoo()
+        owners = lay.nonzero_owner(coo.row, coo.col)
+        touching = [set() for _ in range(A.shape[0])]
+        for i, j, r in zip(coo.row, coo.col, owners):
+            touching[i].add(r)
+            touching[j].add(r)
+        for k in range(A.shape[0]):
+            assert lay.vector_part[k] in touching[k]
+
+    def test_low_volume_on_structured_matrix(self, grid_mondriaan):
+        """Mondriaan's selling point: communication volume rivals GP."""
+        A, lay = grid_mondriaan
+        mon = comm_stats(DistSparseMatrix(A, lay))
+        rnd = comm_stats(DistSparseMatrix(A, make_layout("2d-random", A, 8, seed=1)))
+        assert mon.total_comm_volume < 0.5 * rnd.total_comm_volume
+
+    def test_validation(self, small_rmat):
+        with pytest.raises(ValueError, match="nprocs"):
+            mondriaan_layout(small_rmat, 0)
+
+    def test_single_rank(self, small_rmat):
+        lay = mondriaan_layout(small_rmat, 1)
+        dist = DistSparseMatrix(small_rmat, lay)
+        assert comm_stats(dist).total_comm_volume == 0

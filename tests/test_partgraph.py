@@ -1,0 +1,87 @@
+"""Tests for repro.partitioning.partgraph."""
+
+import numpy as np
+import pytest
+
+from repro.generators import grid2d
+from repro.graphs import from_edges
+from repro.partitioning import PartGraph
+
+
+@pytest.fixture
+def path4() -> PartGraph:
+    """Path graph 0-1-2-3."""
+    A = from_edges([0, 1, 2], [1, 2, 3], (4, 4), symmetrize=True)
+    return PartGraph.from_matrix(A, "unit")
+
+
+class TestConstruction:
+    def test_from_matrix_symmetrizes_and_drops_diagonal(self):
+        A = from_edges([0, 0, 1], [0, 1, 2], (3, 3))  # directed, with loop
+        g = PartGraph.from_matrix(A, "unit")
+        assert g.n == 3
+        assert g.nedges == 2  # (0,1), (1,2)
+        assert (g.vwgt == 1.0).all()
+
+    def test_nnz_weights_use_original_rows(self):
+        A = from_edges([0, 0, 0, 1], [0, 1, 2, 2], (3, 3))
+        g = PartGraph.from_matrix(A, "nnz")
+        assert g.vwgt[:, 0].tolist() == [3.0, 1.0, 1.0]
+
+    def test_multiconstraint(self, small_rmat):
+        g = PartGraph.from_matrix(small_rmat, ("unit", "nnz"))
+        assert g.ncon == 2
+        assert (g.vwgt[:, 0] == 1.0).all()
+        # empty rows get weight 1 (a vertex may not weigh 0), so the total
+        # is nnz plus the number of isolated vertices
+        n_isolated = int((np.diff(small_rmat.indptr) == 0).sum())
+        assert g.vwgt[:, 1].sum() == small_rmat.nnz + n_isolated
+
+    def test_unknown_weight_raises(self, tiny_matrix):
+        with pytest.raises(ValueError, match="unknown vertex weight"):
+            PartGraph.from_matrix(tiny_matrix, "bogus")
+
+    def test_rectangular_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            PartGraph.from_matrix(from_edges([0], [1], (2, 3)))
+
+    def test_from_scipy_defaults_unit_weights(self, small_grid):
+        g = PartGraph.from_scipy(small_grid)
+        assert g.ncon == 1 and g.vwgt.sum() == g.n
+
+
+class TestMetrics:
+    def test_edgecut_path(self, path4):
+        assert path4.edgecut(np.array([0, 0, 1, 1])) == 1.0
+        assert path4.edgecut(np.array([0, 1, 0, 1])) == 3.0
+        assert path4.edgecut(np.zeros(4, dtype=int)) == 0.0
+
+    def test_part_weights_and_imbalance(self, path4):
+        part = np.array([0, 0, 0, 1])
+        pw = path4.part_weights(part, 2)
+        assert pw[:, 0].tolist() == [3.0, 1.0]
+        assert np.isclose(path4.imbalance(part, 2)[0], 1.5)
+
+    def test_neighbors_views(self, path4):
+        assert sorted(path4.neighbors(1).tolist()) == [0, 2]
+        assert path4.edge_weights(1).tolist() == [1.0, 1.0]
+
+    def test_adjacency_roundtrip(self, small_grid):
+        g = PartGraph.from_matrix(small_grid, "unit")
+        W = g.adjacency_matrix()
+        assert W.nnz == small_grid.nnz
+        assert (W != W.T).nnz == 0
+
+
+class TestInducedSubgraph:
+    def test_grid_corner(self):
+        g = PartGraph.from_matrix(grid2d(3, 3), "unit")
+        sub = g.induced_subgraph(np.array([0, 1, 3, 4]))  # 2x2 corner
+        assert sub.n == 4
+        assert sub.nedges == 4
+
+    def test_weights_follow(self, small_rmat):
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        idx = np.array([5, 10, 20])
+        sub = g.induced_subgraph(idx)
+        assert np.array_equal(sub.vwgt, g.vwgt[idx])

@@ -1,0 +1,50 @@
+"""Tests for the partitioning front door (partition_matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning import PartGraph, partition_matrix
+from repro.partitioning.api import PARTITION_METHODS
+
+
+class TestPartitionMatrix:
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    def test_all_methods_produce_valid_partitions(self, small_powerlaw, method):
+        res = partition_matrix(small_powerlaw, 4, method=method, seed=0)
+        assert res.part.min() >= 0 and res.part.max() == 3
+        assert res.method == method
+        assert res.edgecut >= 0
+        assert all(x >= 1.0 for x in res.imbalance)
+
+    def test_gp_mc_has_two_constraints(self, small_rmat):
+        res = partition_matrix(small_rmat, 4, method="gp-mc", seed=0)
+        assert len(res.imbalance) == 2
+        assert res.imbalance[0] < 1.35  # rows balanced
+
+    def test_gp_balances_nonzeros_not_rows(self, small_rmat):
+        res = partition_matrix(small_rmat, 8, method="gp", seed=0)
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        assert np.isclose(g.imbalance(res.part, 8)[0], res.imbalance[0])
+
+    def test_hp_mc_mirrors_paper_limitation(self, small_rmat):
+        with pytest.raises(ValueError, match="not available with"):
+            partition_matrix(small_rmat, 4, method="hp-mc")
+
+    def test_unknown_method(self, small_rmat):
+        with pytest.raises(ValueError, match="unknown method"):
+            partition_matrix(small_rmat, 4, method="magic")
+
+    def test_invalid_nparts(self, small_rmat):
+        with pytest.raises(ValueError, match="nparts"):
+            partition_matrix(small_rmat, 0)
+
+    def test_deterministic(self, small_powerlaw):
+        r1 = partition_matrix(small_powerlaw, 8, method="gp", seed=3)
+        r2 = partition_matrix(small_powerlaw, 8, method="gp", seed=3)
+        assert np.array_equal(r1.part, r2.part)
+
+    def test_gp_beats_random_cut_on_structured_graph(self, small_grid):
+        res = partition_matrix(small_grid, 8, method="gp", seed=0)
+        g = PartGraph.from_matrix(small_grid, "nnz")
+        rnd = np.random.default_rng(0).integers(0, 8, g.n)
+        assert res.edgecut < 0.3 * g.edgecut(rnd)

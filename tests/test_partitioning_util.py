@@ -1,0 +1,63 @@
+"""Tests for repro.partitioning._util — segment primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.partitioning._util import check_part_vector, segment_argmax, segment_sum
+
+
+@st.composite
+def segments(draw):
+    nseg = draw(st.integers(1, 12))
+    lens = draw(st.lists(st.integers(0, 8), min_size=nseg, max_size=nseg))
+    xadj = np.concatenate([[0], np.cumsum(lens)]).astype(np.int64)
+    vals = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=int(xadj[-1]), max_size=int(xadj[-1])
+        )
+    )
+    return np.array(vals), xadj
+
+
+class TestSegmentArgmax:
+    @given(segments())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_python_reference(self, data):
+        vals, xadj = data
+        got = segment_argmax(vals, xadj)
+        for i in range(len(xadj) - 1):
+            seg = vals[xadj[i]: xadj[i + 1]]
+            if len(seg) == 0:
+                assert got[i] == -1
+            else:
+                assert xadj[i] <= got[i] < xadj[i + 1]
+                assert vals[got[i]] == seg.max()
+
+    def test_empty_values(self):
+        out = segment_argmax(np.array([]), np.array([0, 0, 0]))
+        assert out.tolist() == [-1, -1]
+
+
+class TestSegmentSum:
+    @given(segments())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_python_reference(self, data):
+        vals, xadj = data
+        got = segment_sum(vals, xadj)
+        for i in range(len(xadj) - 1):
+            assert np.isclose(got[i], vals[xadj[i]: xadj[i + 1]].sum())
+
+
+class TestCheckPartVector:
+    def test_valid(self):
+        p = check_part_vector([0, 1, 2], 3, 3)
+        assert p.dtype == np.int64
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_part_vector([0, 1], 3, 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            check_part_vector([0, 5], 2, 3)

@@ -1,0 +1,115 @@
+"""Tests for record-and-replay solver costing.
+
+The parity assertions here are what lets the benches replace 32 redundant
+distributed eigensolves per matrix with one recorded run: the recorded
+tally, priced for a layout, must equal what a live distributed run would
+have charged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import normalized_laplacian
+from repro.layouts import make_layout
+from repro.runtime import CAB, CostLedger, DistSparseMatrix, DistVectorSpace, Map
+from repro.solvers import (
+    DistOperator,
+    RecordingOperator,
+    RecordingSpace,
+    eigsh_dist,
+    modeled_solve_seconds,
+    solve_profile,
+)
+
+
+class TestRecordingSpaceParity:
+    """Same op sequence -> identical modeled cost, recorded vs live."""
+
+    def _run_sequence(self, space, rng):
+        n = 200
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        B = rng.standard_normal((n, 7))
+        S = rng.standard_normal((7, 4))
+        space.dot(x, y)
+        space.norm(x)
+        space.axpy(0.5, x, y)
+        space.scale(2.0, x)
+        space.multi_dot(B, x)
+        space.multi_axpy(B, np.zeros(7), x)
+        space.gemm(B, S)
+
+    def test_priced_recording_equals_live_charge(self, rng):
+        n, p = 200, 4
+        owner = rng.integers(0, p, n)
+        vmap = Map(owner, p)
+        live_ledger = CostLedger()
+        live = DistVectorSpace(vmap, CAB, live_ledger)
+        self._run_sequence(live, np.random.default_rng(1))
+
+        rec = RecordingSpace(n)
+        self._run_sequence(rec, np.random.default_rng(1))
+        max_local = int(vmap.counts().max())
+        priced = CAB.gamma_mem * rec.stream_factor * max_local
+        priced += CAB.gamma_flop * rec.gemm_flop_factor * max_local
+        priced += rec.scalar_reductions * CAB.allreduce_time(p)
+        priced += rec.vector_reductions * CAB.allreduce_time(p)
+        extra = rec.vector_reduction_words - rec.vector_reductions
+        priced += int(np.ceil(np.log2(p))) * CAB.beta * extra
+        assert np.isclose(priced, live_ledger.total(), rtol=1e-12)
+
+    def test_recording_numerics_match_live(self, rng):
+        n = 100
+        x = rng.standard_normal(n)
+        B = rng.standard_normal((n, 3))
+        rec = RecordingSpace(n)
+        live = DistVectorSpace(Map(np.zeros(n, dtype=np.int64), 1), CAB)
+        assert np.isclose(rec.dot(x, x), live.dot(x, x))
+        assert np.allclose(rec.multi_dot(B, x), live.multi_dot(B, x))
+
+
+class TestSolveProfile:
+    def test_profile_fields(self, small_powerlaw):
+        Lhat = normalized_laplacian(small_powerlaw)
+        prof = solve_profile(Lhat, k=4, tol=1e-4, seed=0)
+        assert prof.converged
+        assert prof.matvecs > 0
+        assert prof.stream_factor > 0
+        assert prof.scalar_reductions > 0
+        assert len(prof.eigenvalues) == 4
+
+    def test_deterministic(self, small_powerlaw):
+        Lhat = normalized_laplacian(small_powerlaw)
+        p1 = solve_profile(Lhat, k=3, tol=1e-4, seed=7)
+        p2 = solve_profile(Lhat, k=3, tol=1e-4, seed=7)
+        assert p1.matvecs == p2.matvecs
+        assert p1.stream_factor == p2.stream_factor
+
+
+class TestEndToEndParity:
+    def test_replay_close_to_live_distributed_solve(self, small_powerlaw):
+        """Full pipeline: modeled time from replay tracks a real distributed
+        run on the same matrix/layout (trajectories may differ microscopically
+        through float summation order, hence the loose tolerance)."""
+        Lhat = normalized_laplacian(small_powerlaw)
+        lay = make_layout("2d-random", small_powerlaw, 4, seed=0)
+        dist = DistSparseMatrix(Lhat, lay, CAB)
+
+        op = DistOperator(DistSparseMatrix(Lhat, lay, CAB))
+        live = eigsh_dist(op, k=4, tol=1e-4, seed=11)
+        live_total = op.ledger.total()
+
+        prof = solve_profile(Lhat, k=4, tol=1e-4, seed=11)
+        total, spmv = modeled_solve_seconds(prof, dist, CAB)
+        assert live.converged and prof.converged
+        assert abs(prof.matvecs - live.matvecs) <= 0.1 * live.matvecs
+        assert abs(total - live_total) <= 0.1 * live_total
+        assert 0 < spmv < total
+
+    def test_spmv_fraction_consistent(self, small_powerlaw):
+        Lhat = normalized_laplacian(small_powerlaw)
+        lay = make_layout("1d-block", small_powerlaw, 4)
+        dist = DistSparseMatrix(Lhat, lay, CAB)
+        prof = solve_profile(Lhat, k=4, tol=1e-4, seed=2)
+        total, spmv = modeled_solve_seconds(prof, dist, CAB)
+        assert np.isclose(spmv, prof.matvecs * dist.modeled_spmv_seconds(1))

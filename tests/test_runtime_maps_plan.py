@@ -1,0 +1,107 @@
+"""Tests for repro.runtime.maps and repro.runtime.plan."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import CAB, CommPlan, Map
+
+
+class TestMap:
+    def test_grouping(self):
+        m = Map(np.array([1, 0, 1, 2, 0]), 3)
+        assert m.indices_of(0).tolist() == [1, 4]
+        assert m.indices_of(1).tolist() == [0, 2]
+        assert m.indices_of(2).tolist() == [3]
+        assert m.counts().tolist() == [2, 2, 1]
+
+    def test_local_ids(self):
+        m = Map(np.array([1, 0, 1, 2, 0]), 3)
+        assert m.local_ids(np.array([0, 2]), 1).tolist() == [0, 1]
+        assert m.local_ids(np.array([4]), 0).tolist() == [1]
+
+    def test_local_ids_wrong_owner_raises(self):
+        m = Map(np.array([1, 0]), 2)
+        with pytest.raises(ValueError, match="not owned"):
+            m.local_ids(np.array([0]), 0)
+
+    def test_imbalance(self):
+        m = Map(np.array([0, 0, 0, 1]), 2)
+        assert np.isclose(m.imbalance(), 1.5)
+        assert np.isclose(Map(np.array([0, 1]), 2).imbalance(), 1.0)
+
+    def test_out_of_range_owner(self):
+        with pytest.raises(ValueError, match="range"):
+            Map(np.array([0, 3]), 2)
+
+    def test_equality(self):
+        a = Map(np.array([0, 1]), 2)
+        assert a == Map(np.array([0, 1]), 2)
+        assert a != Map(np.array([1, 0]), 2)
+
+
+class TestCommPlan:
+    def _simple(self):
+        # 3 ranks; owner: idx0->r0, idx1->r1, idx2->r2, idx3->r1
+        owner = Map(np.array([0, 1, 2, 1]), 3)
+        needed = [np.array([1, 2]),       # r0 needs 1 (from r1), 2 (from r2)
+                  np.array([0, 1, 3]),    # r1 needs 0 (from r0); 1,3 local
+                  np.array([], dtype=np.int64)]
+        return CommPlan.build(needed, owner), owner
+
+    def test_message_structure(self):
+        plan, _ = self._simple()
+        triples = {(int(s), int(d), tuple(plan.message_indices(m).tolist()))
+                   for m, (s, d) in enumerate(zip(plan.src, plan.dst))}
+        assert triples == {(1, 0, (1,)), (2, 0, (2,)), (0, 1, (0,))}
+        assert plan.nmessages == 3
+        assert plan.total_volume == 3
+
+    def test_no_self_messages(self):
+        plan, _ = self._simple()
+        assert (plan.src != plan.dst).all()
+
+    def test_counts_and_volumes(self):
+        plan, _ = self._simple()
+        assert plan.sent_counts().tolist() == [1, 1, 1]
+        assert plan.recv_counts().tolist() == [2, 1, 0]
+        assert plan.sent_volume().tolist() == [1, 1, 1]
+        assert plan.recv_volume().tolist() == [2, 1, 0]
+
+    def test_messages_from_to(self):
+        plan, _ = self._simple()
+        assert len(plan.messages_from(1)) == 1
+        assert len(plan.messages_to(0)) == 2
+        assert len(plan.messages_to(2)) == 0
+
+    def test_duplicate_needs_deduplicated(self):
+        owner = Map(np.array([0, 1]), 2)
+        plan = CommPlan.build([np.array([1, 1, 1]), np.array([], dtype=np.int64)], owner)
+        assert plan.total_volume == 1
+
+    def test_phase_time_postal_model(self):
+        plan, _ = self._simple()
+        t = plan.phase_time(CAB)
+        # rank 0 receives two 1-double messages: its cost dominates
+        expected_r0 = 2 * (CAB.alpha + CAB.beta * 1) + (CAB.alpha + CAB.beta * 1)
+        assert np.isclose(t, expected_r0)  # r0: 2 recv + 1 send
+
+    def test_wrong_needed_length(self):
+        owner = Map(np.array([0]), 1)
+        with pytest.raises(ValueError, match="entries"):
+            CommPlan.build([], owner)
+
+    def test_brute_force_random_instance(self, rng):
+        """Plan must deliver exactly the remote indices each rank needs."""
+        n, p = 60, 5
+        owner = Map(rng.integers(0, p, n), p)
+        needed = [np.unique(rng.integers(0, n, 20)) for _ in range(p)]
+        plan = CommPlan.build(needed, owner)
+        got = [set() for _ in range(p)]
+        for m in range(plan.nmessages):
+            d = int(plan.dst[m])
+            idx = plan.message_indices(m)
+            assert (owner.owner[idx] == plan.src[m]).all()  # sender owns payload
+            got[d].update(idx.tolist())
+        for r in range(p):
+            expected = {i for i in needed[r].tolist() if owner.owner[i] != r}
+            assert got[r] == expected

@@ -1,0 +1,156 @@
+"""Tests for the distributed solvers: Lanczos, Krylov-Schur, power/PageRank."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as sla
+
+from repro.generators import grid2d, rmat
+from repro.graphs import normalized_laplacian
+from repro.layouts import make_layout
+from repro.runtime import CAB, CostLedger, DistSparseMatrix
+from repro.solvers import (
+    DistOperator,
+    eigsh_dist,
+    lanczos_eigsh,
+    lanczos_factorization,
+    normalized_laplacian_operator,
+    pagerank,
+    power_method,
+)
+
+
+def _operator(A, method="2d-random", p=4, seed=0):
+    lay = make_layout(method, A, p, seed=seed)
+    return DistOperator(DistSparseMatrix(A, lay, CAB))
+
+
+class TestLanczosFactorization:
+    def test_arnoldi_relation(self, small_powerlaw):
+        op = _operator(small_powerlaw)
+        rng = np.random.default_rng(0)
+        m = 15
+        V, H = lanczos_factorization(op, rng.standard_normal(op.n), m, seed=1)
+        # A V_m = V_{m+1} H[: m+1, : m]
+        AV = small_powerlaw @ V[:, :m]
+        assert np.abs(AV - V @ H[:, :m]).max() < 1e-8
+
+    def test_orthonormal_basis(self, small_powerlaw):
+        op = _operator(small_powerlaw)
+        V, _ = lanczos_factorization(op, np.ones(op.n), 12, seed=1)
+        G = V.T @ V
+        assert np.abs(G - np.eye(G.shape[0])).max() < 1e-10
+
+    def test_projection_symmetric(self, small_grid):
+        op = _operator(small_grid)
+        _, H = lanczos_factorization(op, np.ones(op.n), 10)
+        Hm = H[:10, :10]
+        assert np.abs(Hm - Hm.T).max() < 1e-8
+
+    def test_validation(self, small_grid):
+        op = _operator(small_grid)
+        with pytest.raises(ValueError, match="m"):
+            lanczos_factorization(op, np.ones(op.n), 0)
+        with pytest.raises(ValueError, match="nonzero"):
+            lanczos_factorization(op, np.zeros(op.n), 5)
+
+    def test_oneshot_eigsh_on_easy_spectrum(self, small_powerlaw):
+        # a scale-free adjacency has a well-separated dominant eigenvalue,
+        # which one-shot Lanczos nails; clustered spectra need restarts
+        op = _operator(small_powerlaw)
+        res = lanczos_eigsh(op, k=3, m=60, seed=2)
+        ref = np.sort(
+            sla.eigsh(small_powerlaw, k=3, which="LA", return_eigenvectors=False)
+        )[::-1]
+        assert abs(res.eigenvalues[0] - ref[0]) < 1e-8
+        assert np.abs(res.eigenvalues - ref).max() < 1e-3
+
+
+class TestKrylovSchur:
+    @pytest.mark.parametrize("which", ["LA", "SA", "LM"])
+    def test_matches_scipy(self, small_powerlaw, which):
+        Lhat = normalized_laplacian(small_powerlaw)
+        op = _operator(Lhat, p=4)
+        res = eigsh_dist(op, k=6, tol=1e-8, which=which, seed=3)
+        assert res.converged
+        scipy_which = {"LA": "LA", "SA": "SA", "LM": "LM"}[which]
+        ref = sla.eigsh(Lhat, k=6, which=scipy_which, return_eigenvectors=False)
+        order = np.argsort(ref)[::-1] if which in ("LA", "LM") else np.argsort(ref)
+        if which == "LM":
+            order = np.argsort(np.abs(ref))[::-1]
+        assert np.abs(np.sort(res.eigenvalues) - np.sort(ref[order])).max() < 1e-6
+
+    def test_eigenvectors_residual(self, small_powerlaw):
+        Lhat = normalized_laplacian(small_powerlaw)
+        op = _operator(Lhat)
+        res = eigsh_dist(op, k=4, tol=1e-8, seed=1)
+        for i in range(4):
+            v = res.eigenvectors[:, i]
+            r = Lhat @ v - res.eigenvalues[i] * v
+            assert np.linalg.norm(r) < 1e-6
+
+    def test_paper_configuration_runs(self, small_rmat):
+        """k=10, tol=1e-3, largest of L_hat — the exact paper setting."""
+        op = normalized_laplacian_operator(small_rmat, make_layout("2d-gp", small_rmat, 4, seed=0))
+        res = eigsh_dist(op, k=10, tol=1e-3, which="LA", seed=5)
+        assert res.converged
+        assert len(res.eigenvalues) == 10
+        assert op.ledger.spmv_total() > 0
+        assert op.ledger.get("vector-ops") > 0
+
+    def test_ledger_accumulates_per_matvec(self, small_grid):
+        op = _operator(small_grid)
+        res = eigsh_dist(op, k=2, tol=1e-6, seed=0)
+        per_spmv = op.dist.modeled_spmv_seconds(1)
+        assert np.isclose(op.ledger.spmv_total(), res.matvecs * per_spmv)
+
+    def test_validation(self, small_grid):
+        op = _operator(small_grid)
+        with pytest.raises(ValueError, match="k must"):
+            eigsh_dist(op, k=0)
+        with pytest.raises(ValueError, match="which"):
+            eigsh_dist(op, k=2, which="XX")
+
+    def test_nonconvergence_flagged(self, small_powerlaw):
+        Lhat = normalized_laplacian(small_powerlaw)
+        op = _operator(Lhat)
+        res = eigsh_dist(op, k=4, tol=1e-14, max_restarts=1, seed=0)
+        assert not res.converged
+
+
+class TestPower:
+    def test_power_method_dominant_pair(self, small_powerlaw):
+        # note: must be non-bipartite — on a bipartite graph (e.g. a grid)
+        # the +/-lambda eigenvalue pair makes the power method oscillate
+        lay = make_layout("2d-block", small_powerlaw, 4)
+        res = power_method(small_powerlaw, lay, tol=1e-9, max_iter=5000, seed=1)
+        ref = sla.eigsh(small_powerlaw, k=1, which="LA", return_eigenvectors=False)[0]
+        assert res.converged
+        assert abs(res.eigenvalue - ref) < 1e-5
+
+    def test_pagerank_is_stationary_and_stochastic(self, small_rmat):
+        lay = make_layout("1d-random", small_rmat, 4, seed=1)
+        res = pagerank(small_rmat, lay, damping=0.85, tol=1e-12)
+        assert res.converged
+        assert np.isclose(res.scores.sum(), 1.0)
+        assert (res.scores > 0).all()
+        # stationarity: one more iteration moves nothing
+        from repro.solvers.power import google_link_matrix
+
+        M, dangling = google_link_matrix(small_rmat)
+        y = 0.85 * (M @ res.scores)
+        y += (0.85 * res.scores[dangling].sum() + 0.15) / small_rmat.shape[0]
+        assert np.abs(y - res.scores).max() < 1e-10
+
+    def test_pagerank_matches_networkx(self, small_powerlaw):
+        nx = pytest.importorskip("networkx")
+        lay = make_layout("1d-block", small_powerlaw, 2)
+        res = pagerank(small_powerlaw, lay, damping=0.85, tol=1e-12)
+        G = nx.from_scipy_sparse_array(small_powerlaw)
+        ref = nx.pagerank(G, alpha=0.85, tol=1e-12, max_iter=500)
+        ref_vec = np.array([ref[i] for i in range(small_powerlaw.shape[0])])
+        assert np.abs(res.scores - ref_vec).max() < 1e-6
+
+    def test_pagerank_validation(self, small_rmat):
+        lay = make_layout("1d-block", small_rmat, 2)
+        with pytest.raises(ValueError, match="damping"):
+            pagerank(small_rmat, lay, damping=1.5)

@@ -1,0 +1,93 @@
+"""Tests for the spectral analysis applications."""
+
+import numpy as np
+import pytest
+
+from repro.generators import grid2d
+from repro.graphs import from_edges
+from repro.layouts import make_layout
+from repro.spectral import (
+    bipartite_detection,
+    kmeans,
+    spectral_clustering,
+    spectral_embedding,
+)
+
+
+def _planted_partition(n_per=60, k=3, p_in=0.25, p_out=0.01, seed=0):
+    """k dense blocks with sparse cross edges; labels are known."""
+    rng = np.random.default_rng(seed)
+    n = n_per * k
+    truth = np.repeat(np.arange(k), n_per)
+    rows, cols = [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = p_in if truth[i] == truth[j] else p_out
+            if rng.random() < p:
+                rows.append(i)
+                cols.append(j)
+    A = from_edges(np.array(rows), np.array(cols), (n, n), symmetrize=True)
+    return A, truth
+
+
+def _purity(labels, truth, k):
+    """Fraction of vertices in their cluster's majority true class."""
+    good = 0
+    for c in range(k):
+        members = truth[labels == c]
+        if len(members):
+            good += np.bincount(members).max()
+    return good / len(truth)
+
+
+class TestKmeans:
+    def test_separated_blobs(self, rng):
+        X = np.concatenate([rng.normal(0, 0.1, (50, 2)), rng.normal(5, 0.1, (50, 2))])
+        labels = kmeans(X, 2, seed=1)
+        assert len(np.unique(labels)) == 2
+        assert len(np.unique(labels[:50])) == 1
+        assert len(np.unique(labels[50:])) == 1
+
+    def test_k_equals_points(self):
+        X = np.array([[0.0], [10.0], [20.0]])
+        labels = kmeans(X, 3, seed=0)
+        assert len(np.unique(labels)) == 3
+
+
+class TestSpectralClustering:
+    def test_recovers_planted_partition(self):
+        A, truth = _planted_partition()
+        lay = make_layout("1d-block", A, 4)
+        res = spectral_clustering(A, 3, layout=lay, tol=1e-6, seed=1)
+        assert _purity(res.labels, truth, 3) > 0.95
+        assert res.ledger.total() > 0
+
+    def test_embedding_shape_and_cost(self):
+        A, _ = _planted_partition(n_per=40, k=2)
+        lay = make_layout("2d-random", A, 4, seed=0)
+        X, ledger = spectral_embedding(A, dim=3, layout=lay, tol=1e-5)
+        assert X.shape == (A.shape[0], 3)
+        assert ledger.spmv_total() > 0
+
+    def test_validation(self):
+        A, _ = _planted_partition(n_per=30, k=2)
+        with pytest.raises(ValueError, match="n_clusters"):
+            spectral_clustering(A, 1)
+
+
+class TestBipartiteDetection:
+    def test_exactly_bipartite(self):
+        """A grid is bipartite: lambda_max(L_hat) = 2 and the sign split
+        recovers the two-colouring."""
+        A = grid2d(10, 12)
+        lay = make_layout("1d-block", A, 4)
+        res = bipartite_detection(A, layout=lay, tol=1e-9, seed=2)
+        assert res.score < 1e-6
+        # checkerboard colouring: neighbours always on opposite sides
+        coo = A.tocoo()
+        assert (res.sides[coo.row] != res.sides[coo.col]).all()
+
+    def test_non_bipartite_scores_higher(self, small_powerlaw):
+        lay = make_layout("1d-block", small_powerlaw, 4)
+        res = bipartite_detection(small_powerlaw, layout=lay, tol=1e-6, seed=3)
+        assert res.score > 0.01  # triangles break bipartiteness
