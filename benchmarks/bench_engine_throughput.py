@@ -1,0 +1,124 @@
+"""Wall-clock throughput of the precompiled SpMV engine vs the seed path.
+
+The paper's experiments are all *repeated* SpMV; what the engine buys is
+host-side throughput of the simulation itself. This bench times 100
+repeated ``spmv`` through the per-message reference executor (the seed
+implementation) and through the compiled engine, plus one block
+``spmm(k=8)``, on an R-MAT corpus matrix at p=64, and records the
+numbers in ``BENCH_engine.json`` at the repo root so future PRs have a
+perf trajectory. It also asserts the two guarantees the speedup must not
+cost: bit-identical results and identical modeled :class:`CostLedger`
+totals.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--smoke]
+
+``--smoke`` shrinks the matrix and iteration counts for CI sanity runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+
+def time_loop(fn, iters: int) -> float:
+    """Best-of-3 mean seconds per call over *iters* calls."""
+    best = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / iters)
+    return best
+
+
+def run(smoke: bool) -> dict:
+    from repro.generators import load_corpus_matrix, rmat
+    from repro.layouts import make_layout
+    from repro.runtime import CostLedger, DistSparseMatrix
+
+    if smoke:
+        A, matrix, p, n_ref, n_eng = rmat(9, 6, seed=1), "rmat(scale=9)", 16, 3, 20
+    else:
+        A, matrix, p, n_ref, n_eng = load_corpus_matrix("rmat_22"), "rmat_22", 64, 10, 100
+    k = 8
+
+    lay = make_layout("2d-random", A, p, seed=0)
+    t0 = time.perf_counter()
+    dist = DistSparseMatrix(A, lay)
+    t_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dist.engine
+    t_compile = time.perf_counter() - t0
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(A.shape[0])
+    X = rng.standard_normal((A.shape[0], k))
+
+    # guarantees first: bit-identical numerics, identical modeled cost
+    l_ref, l_eng = CostLedger(), CostLedger()
+    y_ref = dist.spmv(x, l_ref, reference=True)
+    y_eng = dist.spmv(x, l_eng)
+    assert np.array_equal(y_ref, y_eng), "engine is not bit-identical"
+    assert l_ref.breakdown() == l_eng.breakdown(), "modeled cost changed"
+    Y = dist.spmm(X)
+    assert np.array_equal(Y[:, 0], dist.spmv(X[:, 0])), "spmm column differs"
+
+    t_ref = time_loop(lambda: dist.spmv(x, reference=True), n_ref)
+    t_eng = time_loop(lambda: dist.spmv(x), n_eng)
+    t_blk = time_loop(lambda: dist.spmm(X), max(n_eng // 5, 2))
+
+    return {
+        "bench": "engine_throughput",
+        "mode": "smoke" if smoke else "full",
+        "matrix": matrix,
+        "n": int(A.shape[0]),
+        "nnz": int(A.nnz),
+        "nprocs": p,
+        "layout": "2d-random",
+        "build_seconds": t_build,
+        "engine_compile_seconds": t_compile,
+        "spmv_reference_seconds": t_ref,
+        "spmv_engine_seconds": t_eng,
+        "spmv_100_reference_seconds": 100 * t_ref,
+        "spmv_100_engine_seconds": 100 * t_eng,
+        "speedup": t_ref / t_eng,
+        "spmm_k": k,
+        "spmm_seconds": t_blk,
+        "spmm_per_vector_seconds": t_blk / k,
+        "spmm_speedup_vs_reference": t_ref / (t_blk / k),
+        "bit_identical": True,
+        "modeled_cost_identical": True,
+    }
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small matrix / few iterations (CI sanity run)")
+    args = ap.parse_args()
+
+    result = run(args.smoke)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"[bench_engine_throughput] wrote {OUT_PATH}")
+    print(
+        "  {matrix} p={nprocs}: 100 spmv {spmv_100_reference_seconds:.3f}s (seed) "
+        "-> {spmv_100_engine_seconds:.3f}s (engine), {speedup:.1f}x; "
+        "spmm(k={spmm_k}) {spmm_per_vector_seconds:.6f}s/vec "
+        "({spmm_speedup_vs_reference:.1f}x vs seed)".format(**result)
+    )
+    if not args.smoke and result["speedup"] < 5.0:
+        raise SystemExit(f"speedup {result['speedup']:.2f}x below the 5x target")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ from .plan import CommPlan
 from .trace import CostLedger, SPMV_PHASES
 from .distmatrix import DistSparseMatrix
 from .distvector import DistVectorSpace
+from .engine import SpmvEngine
 from .metrics import CommStats, comm_stats
 from .collectives import COLLECTIVE_ALGORITHMS, phase_time
 from .migration import MigrationStats, migration_stats
@@ -29,6 +30,7 @@ __all__ = [
     "SPMV_PHASES",
     "DistSparseMatrix",
     "DistVectorSpace",
+    "SpmvEngine",
     "CommStats",
     "comm_stats",
     "COLLECTIVE_ALGORITHMS",

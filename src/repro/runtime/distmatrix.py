@@ -22,6 +22,8 @@ import scipy.sparse as sp
 
 from ..graphs.csr import as_csr
 from ..layouts.base import Layout
+from .collectives import phase_time
+from .engine import SpmvEngine
 from .machine import CAB, MachineModel
 from .maps import Map
 from .plan import CommPlan
@@ -47,24 +49,40 @@ class DistSparseMatrix:
         self.vector_map = Map(layout.vector_part, layout.nprocs)
 
         coo = A.tocoo()
-        ranks = layout.nonzero_owner(coo.row, coo.col)
+        ranks = np.asarray(layout.nonzero_owner(coo.row, coo.col), dtype=np.int64)
         order = np.argsort(ranks, kind="stable")
-        rows, cols, vals = coo.row[order], coo.col[order], coo.data[order]
+        rows = coo.row[order].astype(np.int64)
+        cols = coo.col[order].astype(np.int64)
+        vals = coo.data[order]
+        ranks_s = ranks[order]
         counts = np.bincount(ranks, minlength=self.nprocs)
         starts = np.concatenate([[0], np.cumsum(counts)])
 
+        # Per-rank compressed index sets in one sort-based pass over all
+        # nonzeros (no per-rank np.unique/searchsorted): unique (rank, id)
+        # keys give every rank's sorted map, and each nonzero's local id is
+        # its key's offset within the rank's segment.
+        def per_rank_unique(ids: np.ndarray):
+            key = ranks_s * np.int64(self.n) + ids
+            uniq = np.unique(key)
+            urank = uniq // self.n
+            uid = uniq - urank * self.n
+            seg = np.searchsorted(urank, np.arange(self.nprocs + 1))
+            local = np.searchsorted(uniq, key) - seg[ranks_s]
+            return uid, seg, local
+
+        urow, rseg, lr = per_rank_unique(rows)
+        ucol, cseg, lc = per_rank_unique(cols)
         self.row_maps: list[np.ndarray] = []  # global rows present on rank
         self.col_maps: list[np.ndarray] = []  # global cols present on rank
         self.local_blocks: list[sp.csr_matrix] = []
         self.local_nnz = counts.astype(np.int64)
         for r in range(self.nprocs):
             sl = slice(starts[r], starts[r + 1])
-            rmap = np.unique(rows[sl])
-            cmap = np.unique(cols[sl])
-            lr = np.searchsorted(rmap, rows[sl])
-            lc = np.searchsorted(cmap, cols[sl])
+            rmap = urow[rseg[r] : rseg[r + 1]]
+            cmap = ucol[cseg[r] : cseg[r + 1]]
             block = sp.csr_matrix(
-                (vals[sl], (lr, lc)), shape=(len(rmap), len(cmap))
+                (vals[sl], (lr[sl], lc[sl])), shape=(len(rmap), len(cmap))
             )
             self.row_maps.append(rmap)
             self.col_maps.append(cmap)
@@ -83,6 +101,34 @@ class DistSparseMatrix:
             ptr=fold_forward.ptr,
             indices=fold_forward.indices,
         )
+        self._verify_plans()
+        self._engine: SpmvEngine | None = None
+
+    def _verify_plans(self) -> None:
+        """Check plan/ownership consistency once, at build time.
+
+        Every import payload must come from the owner of its indices and
+        every fold payload must go *to* the owner of its rows. With this
+        established the hot paths skip per-message ownership validation
+        (``Map.local_ids(..., validate=False)``).
+        """
+        vm = self.vector_map
+        ip, fp = self.import_plan, self.fold_plan
+        if not np.array_equal(
+            vm.owner[ip.indices], np.repeat(ip.src, ip.message_sizes())
+        ):
+            raise ValueError("import plan sends indices their source does not own")
+        if not np.array_equal(
+            vm.owner[fp.indices], np.repeat(fp.dst, fp.message_sizes())
+        ):
+            raise ValueError("fold plan ships rows their destination does not own")
+
+    @property
+    def engine(self) -> SpmvEngine:
+        """The compiled executor (built lazily on first apply)."""
+        if self._engine is None:
+            self._engine = SpmvEngine(self)
+        return self._engine
 
     # -- data movement helpers ---------------------------------------------
 
@@ -101,15 +147,35 @@ class DistSparseMatrix:
 
     # -- the four-phase SpMV ---------------------------------------------------
 
-    def spmv(self, x: np.ndarray, ledger: CostLedger | None = None) -> np.ndarray:
+    def spmv(
+        self,
+        x: np.ndarray,
+        ledger: CostLedger | None = None,
+        reference: bool = False,
+    ) -> np.ndarray:
         """y = A x with explicit expand / local-compute / fold / sum phases.
 
         Charges modeled per-phase time to *ledger* when given. The data
         movement is real: every ghost value crosses a message buffer, every
         remote partial sum is shipped and accumulated at the owner.
+
+        By default the compiled :class:`~repro.runtime.engine.SpmvEngine`
+        executes the phases (index plans flattened once, buffers reused);
+        ``reference=True`` runs the original per-message loops instead.
+        The two paths are bit-identical — same values moved, same per-slot
+        summation order — which ``tests/test_engine.py`` asserts exactly.
         """
-        vm = self.vector_map
         x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ValueError(f"vector shape {x.shape} != ({self.n},)")
+        y = self._spmv_reference(x) if reference else self.engine.spmv(x)
+        if ledger is not None:
+            self.charge_spmv(ledger)
+        return y
+
+    def _spmv_reference(self, x: np.ndarray) -> np.ndarray:
+        """The per-message four-phase executor (the engine's ground truth)."""
+        vm = self.vector_map
         x_owned = self.scatter_vector(x)
 
         # --- phase 1: expand ---
@@ -119,13 +185,13 @@ class DistSparseMatrix:
             buf = np.zeros(len(cmap))
             own = vm.owner[cmap] == r
             if own.any():
-                buf[own] = x_owned[r][vm.local_ids(cmap[own], r)]
+                buf[own] = x_owned[r][vm.local_ids(cmap[own], r, validate=False)]
             x_local.append(buf)
         for m in range(self.import_plan.nmessages):
             s = int(self.import_plan.src[m])
             d = int(self.import_plan.dst[m])
             idx = self.import_plan.message_indices(m)
-            payload = x_owned[s][vm.local_ids(idx, s)]  # "send"
+            payload = x_owned[s][vm.local_ids(idx, s, validate=False)]  # "send"
             x_local[d][np.searchsorted(self.col_maps[d], idx)] = payload  # "recv"
 
         # --- phase 2: local compute ---
@@ -137,17 +203,35 @@ class DistSparseMatrix:
             rmap = self.row_maps[r]
             own = vm.owner[rmap] == r
             if own.any():
-                np.add.at(y_owned[r], vm.local_ids(rmap[own], r), y_partial[r][own])
+                np.add.at(
+                    y_owned[r],
+                    vm.local_ids(rmap[own], r, validate=False),
+                    y_partial[r][own],
+                )
         for m in range(self.fold_plan.nmessages):
             s = int(self.fold_plan.src[m])
             d = int(self.fold_plan.dst[m])
             idx = self.fold_plan.message_indices(m)
             payload = y_partial[s][np.searchsorted(self.row_maps[s], idx)]
-            np.add.at(y_owned[d], vm.local_ids(idx, d), payload)
+            np.add.at(y_owned[d], vm.local_ids(idx, d, validate=False), payload)
 
-        if ledger is not None:
-            self.charge_spmv(ledger)
         return self.gather_vector(y_owned)
+
+    def spmm(self, X: np.ndarray, ledger: CostLedger | None = None) -> np.ndarray:
+        """Y = A X for an (n, k) block — k SpMVs through one compiled pass.
+
+        Column j is bit-identical to ``spmv(X[:, j])``; the modeled cost
+        charged to *ledger* is exactly k single-vector SpMVs (the cost
+        model prices the scheduled messages, which are the same — block
+        execution changes constants the model deliberately ignores).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.n:
+            raise ValueError(f"block shape {X.shape} != ({self.n}, k)")
+        Y = self.engine.spmm(X)
+        if ledger is not None and X.shape[1]:
+            self.charge_spmv(ledger, count=X.shape[1])
+        return Y
 
     # -- cost model ------------------------------------------------------------
 
@@ -161,8 +245,6 @@ class DistSparseMatrix:
         for the expand/fold phases ("direct", "tree" or "hypercube"; see
         :mod:`repro.runtime.collectives` and the paper's reference [18]).
         """
-        from .collectives import phase_time
-
         mach = self.machine
         ledger.add("expand", count * phase_time(self.import_plan, mach, algorithm))
         flops = 2.0 * self.local_nnz.max() if self.nprocs else 0.0

@@ -54,15 +54,21 @@ class Map:
         """Global indices owned by *rank*, ascending (view, do not mutate)."""
         return self._grouped[self._starts[rank] : self._starts[rank + 1]]
 
-    def local_ids(self, global_ids: np.ndarray, rank: int) -> np.ndarray:
+    def local_ids(
+        self, global_ids: np.ndarray, rank: int, validate: bool = True
+    ) -> np.ndarray:
         """Local ids (positions within the owner's list) of *global_ids*.
 
-        All *global_ids* must be owned by *rank*; raises otherwise — a
-        violated precondition here means a communication plan is wrong.
+        All *global_ids* must be owned by *rank*; with ``validate=True``
+        (the default) raises otherwise — a violated precondition here means
+        a communication plan is wrong. Engine-internal call sites pass
+        ``validate=False``: their plans are verified once at build time
+        (:meth:`repro.runtime.distmatrix.DistSparseMatrix._verify_plans`),
+        so re-checking ownership on every SpMV would only cost time.
         """
         owned = self.indices_of(rank)
         pos = np.searchsorted(owned, global_ids)
-        if len(global_ids) and (
+        if validate and len(global_ids) and (
             (pos >= len(owned)).any() or not np.array_equal(owned[np.minimum(pos, len(owned) - 1)], global_ids)
         ):
             raise ValueError(f"some indices are not owned by rank {rank}")

@@ -35,6 +35,10 @@ class CommPlan:
     indices: np.ndarray
     _by_src: list[np.ndarray] | None = field(default=None, repr=False)
     _by_dst: list[np.ndarray] | None = field(default=None, repr=False)
+    _sent_counts: np.ndarray | None = field(default=None, repr=False)
+    _recv_counts: np.ndarray | None = field(default=None, repr=False)
+    _sent_volume: np.ndarray | None = field(default=None, repr=False)
+    _recv_volume: np.ndarray | None = field(default=None, repr=False)
 
     @classmethod
     def build(cls, needed: list[np.ndarray], owner_map: Map) -> "CommPlan":
@@ -44,39 +48,47 @@ class CommPlan:
         indices r already owns are skipped (no self-messages). Each
         message's indices are sorted ascending, which makes the payload
         layout deterministic on both sides.
+
+        One sort-based pass over all (destination, index) pairs — no
+        per-rank Python loop, so building a plan for 1024 ranks costs the
+        same O(total log total) as for 4.
         """
         nprocs = owner_map.nprocs
         if len(needed) != nprocs:
             raise ValueError(f"needed has {len(needed)} entries, expected {nprocs}")
-        src_l: list[int] = []
-        dst_l: list[int] = []
-        chunks: list[np.ndarray] = []
-        lens: list[int] = []
-        for r, idx in enumerate(needed):
-            idx = np.unique(np.asarray(idx, dtype=np.int64))
-            owners = owner_map.owner[idx]
-            remote = owners != r
-            idx, owners = idx[remote], owners[remote]
-            if len(idx) == 0:
-                continue
-            order = np.argsort(owners, kind="stable")
-            idx, owners = idx[order], owners[order]
-            cut = np.flatnonzero(np.diff(owners)) + 1
-            for block, s in zip(
-                np.split(idx, cut), owners[np.concatenate([[0], cut])]
-            ):
-                src_l.append(int(s))
-                dst_l.append(r)
-                chunks.append(block)
-                lens.append(len(block))
-        ptr = np.concatenate([[0], np.cumsum(lens)]).astype(np.int64)
-        indices = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        empty = cls(
+            nprocs=nprocs,
+            src=np.empty(0, dtype=np.int64),
+            dst=np.empty(0, dtype=np.int64),
+            ptr=np.zeros(1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+        )
+        lens = np.fromiter((len(a) for a in needed), dtype=np.int64, count=nprocs)
+        if lens.sum() == 0:
+            return empty
+        dst_all = np.repeat(np.arange(nprocs, dtype=np.int64), lens)
+        idx_all = np.concatenate([np.asarray(a, dtype=np.int64) for a in needed])
+        # dedupe (dst, idx) pairs; ukey is sorted by dst then idx
+        n = np.int64(owner_map.n)
+        ukey = np.unique(dst_all * n + idx_all)
+        dsts = ukey // n
+        idxs = ukey - dsts * n
+        owners = owner_map.owner[idxs]
+        remote = owners != dsts
+        dsts, idxs, owners = dsts[remote], idxs[remote], owners[remote]
+        if len(idxs) == 0:
+            return empty
+        # message order: destination-major, then source; indices ascending
+        order = np.lexsort((idxs, owners, dsts))
+        dsts, idxs, owners = dsts[order], idxs[order], owners[order]
+        cut = np.flatnonzero((np.diff(dsts) != 0) | (np.diff(owners) != 0)) + 1
+        ptr = np.concatenate([[0], cut, [len(idxs)]]).astype(np.int64)
         return cls(
             nprocs=nprocs,
-            src=np.asarray(src_l, dtype=np.int64),
-            dst=np.asarray(dst_l, dtype=np.int64),
+            src=owners[ptr[:-1]],
+            dst=dsts[ptr[:-1]],
             ptr=ptr,
-            indices=indices,
+            indices=idxs,
         )
 
     # -- structure accessors -------------------------------------------------
@@ -120,24 +132,32 @@ class CommPlan:
     # -- per-rank statistics ---------------------------------------------------
 
     def sent_counts(self) -> np.ndarray:
-        """Messages sent per rank."""
-        return np.bincount(self.src, minlength=self.nprocs)
+        """Messages sent per rank (cached; treat as read-only)."""
+        if self._sent_counts is None:
+            self._sent_counts = np.bincount(self.src, minlength=self.nprocs)
+        return self._sent_counts
 
     def recv_counts(self) -> np.ndarray:
-        """Messages received per rank."""
-        return np.bincount(self.dst, minlength=self.nprocs)
+        """Messages received per rank (cached; treat as read-only)."""
+        if self._recv_counts is None:
+            self._recv_counts = np.bincount(self.dst, minlength=self.nprocs)
+        return self._recv_counts
 
     def sent_volume(self) -> np.ndarray:
-        """Doubles sent per rank."""
-        out = np.zeros(self.nprocs, dtype=np.int64)
-        np.add.at(out, self.src, self.message_sizes())
-        return out
+        """Doubles sent per rank (cached; treat as read-only)."""
+        if self._sent_volume is None:
+            out = np.zeros(self.nprocs, dtype=np.int64)
+            np.add.at(out, self.src, self.message_sizes())
+            self._sent_volume = out
+        return self._sent_volume
 
     def recv_volume(self) -> np.ndarray:
-        """Doubles received per rank."""
-        out = np.zeros(self.nprocs, dtype=np.int64)
-        np.add.at(out, self.dst, self.message_sizes())
-        return out
+        """Doubles received per rank (cached; treat as read-only)."""
+        if self._recv_volume is None:
+            out = np.zeros(self.nprocs, dtype=np.int64)
+            np.add.at(out, self.dst, self.message_sizes())
+            self._recv_volume = out
+        return self._recv_volume
 
     @property
     def total_volume(self) -> int:

@@ -153,7 +153,7 @@ def _expand_block(op, V, H, c0: int, m: int, b: int, rng) -> None:
     c = c0
     while c < m:
         bp = min(b, m - c)
-        W = np.column_stack([op.matvec(V[:, c + i]) for i in range(bp)])
+        W = op.matvec_block(V[:, c: c + bp])
         h1 = space.multi_dot(V[:, : c + bp], W)
         W = space.multi_axpy(V[:, : c + bp], h1, W)
         h2 = space.multi_dot(V[:, : c + bp], W)
