@@ -46,7 +46,7 @@ def test_ablation_phi_psi_orientation(benchmark):
     path = write_result("ablation_phipsi", table)
     print(f"\n[Ablation] phi/psi orientation at p={P} (written to {path})\n{table}")
 
-    for name, recs in results:
+    for _name, recs in results:
         imb = {o: recs[o].stats.nnz_imbalance for o in ("fixed", "swapped", "best")}
         # pick-best delivers exactly what it promises: the better balance
         assert imb["best"] <= min(imb["fixed"], imb["swapped"]) + 1e-9

@@ -6,9 +6,10 @@ repeated ``spmv`` through the per-message reference executor (the seed
 implementation) and through the compiled engine, plus one block
 ``spmm(k=8)``, on an R-MAT corpus matrix at p=64, and records the
 numbers in ``BENCH_engine.json`` at the repo root so future PRs have a
-perf trajectory. It also asserts the two guarantees the speedup must not
-cost: bit-identical results and identical modeled :class:`CostLedger`
-totals.
+perf trajectory. It also checks the two guarantees the speedup must not
+cost — bit-identical results and identical modeled :class:`CostLedger`
+totals — and exits nonzero with a diagnostic if either fails, so the CI
+smoke step genuinely gates on them.
 
 Run directly (not under pytest)::
 
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -41,7 +43,7 @@ def time_loop(fn, iters: int) -> float:
     return best
 
 
-def run(smoke: bool) -> dict:
+def run(smoke: bool) -> tuple[list[str], dict]:
     from repro.generators import load_corpus_matrix, rmat
     from repro.layouts import make_layout
     from repro.runtime import CostLedger, DistSparseMatrix
@@ -57,27 +59,44 @@ def run(smoke: bool) -> dict:
     dist = DistSparseMatrix(A, lay)
     t_build = time.perf_counter() - t0
     t0 = time.perf_counter()
-    dist.engine
+    _ = dist.engine  # first access compiles and caches the plan
     t_compile = time.perf_counter() - t0
 
     rng = np.random.default_rng(0)
     x = rng.standard_normal(A.shape[0])
     X = rng.standard_normal((A.shape[0], k))
 
-    # guarantees first: bit-identical numerics, identical modeled cost
+    # guarantees first: bit-identical numerics, identical modeled cost.
+    # Collected as explicit failures (not asserts) so the CI smoke step
+    # exits nonzero with a diagnostic even under ``python -O``.
+    failures = []
     l_ref, l_eng = CostLedger(), CostLedger()
     y_ref = dist.spmv(x, l_ref, reference=True)
     y_eng = dist.spmv(x, l_eng)
-    assert np.array_equal(y_ref, y_eng), "engine is not bit-identical"
-    assert l_ref.breakdown() == l_eng.breakdown(), "modeled cost changed"
+    if not np.array_equal(y_ref, y_eng):
+        failures.append(
+            "engine is not bit-identical to the reference path: "
+            f"max |y_eng - y_ref| = {np.abs(y_eng - y_ref).max():.3e} over "
+            f"{np.count_nonzero(y_eng != y_ref)} of {len(y_ref)} entries"
+        )
+    if l_ref.breakdown() != l_eng.breakdown():
+        failures.append(
+            f"modeled cost changed: reference {l_ref.breakdown()} "
+            f"!= engine {l_eng.breakdown()}"
+        )
     Y = dist.spmm(X)
-    assert np.array_equal(Y[:, 0], dist.spmv(X[:, 0])), "spmm column differs"
+    if not np.array_equal(Y[:, 0], dist.spmv(X[:, 0])):
+        col = dist.spmv(X[:, 0])
+        failures.append(
+            "spmm column 0 differs from spmv: "
+            f"max |delta| = {np.abs(Y[:, 0] - col).max():.3e}"
+        )
 
     t_ref = time_loop(lambda: dist.spmv(x, reference=True), n_ref)
     t_eng = time_loop(lambda: dist.spmv(x), n_eng)
     t_blk = time_loop(lambda: dist.spmm(X), max(n_eng // 5, 2))
 
-    return {
+    return failures, {
         "bench": "engine_throughput",
         "mode": "smoke" if smoke else "full",
         "matrix": matrix,
@@ -96,8 +115,8 @@ def run(smoke: bool) -> dict:
         "spmm_seconds": t_blk,
         "spmm_per_vector_seconds": t_blk / k,
         "spmm_speedup_vs_reference": t_ref / (t_blk / k),
-        "bit_identical": True,
-        "modeled_cost_identical": True,
+        "bit_identical": np.array_equal(y_ref, y_eng),
+        "modeled_cost_identical": l_ref.breakdown() == l_eng.breakdown(),
     }
 
 
@@ -107,7 +126,7 @@ def main() -> None:
                     help="small matrix / few iterations (CI sanity run)")
     args = ap.parse_args()
 
-    result = run(args.smoke)
+    failures, result = run(args.smoke)
     OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"[bench_engine_throughput] wrote {OUT_PATH}")
     print(
@@ -116,6 +135,10 @@ def main() -> None:
         "spmm(k={spmm_k}) {spmm_per_vector_seconds:.6f}s/vec "
         "({spmm_speedup_vs_reference:.1f}x vs seed)".format(**result)
     )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        raise SystemExit(1)
     if not args.smoke and result["speedup"] < 5.0:
         raise SystemExit(f"speedup {result['speedup']:.2f}x below the 5x target")
 

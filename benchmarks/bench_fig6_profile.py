@@ -5,7 +5,6 @@ within a factor x of the best method's. The paper reads off: 2D-GP/HP best
 on 97.5% of instances; 1D-GP/HP within 2x of best on only 40% of them.
 """
 
-import numpy as np
 from conftest import write_result
 
 from repro.bench import format_table, fraction_best, performance_profile, profile_value_at

@@ -18,8 +18,8 @@ Expected shape (EXPERIMENTS.md records the actual numbers):
 import numpy as np
 from conftest import methods_for, write_result
 
-from repro.bench import format_table, run_spmv_cell, spmv_grid, table2_rows
-from repro.generators import corpus_names, load_corpus_matrix
+from repro.bench import format_table, run_spmv_cell, table2_rows
+from repro.generators import load_corpus_matrix
 
 
 def test_table2_full_grid(benchmark, table2_records):
@@ -68,7 +68,7 @@ def test_table2_full_grid(benchmark, table2_records):
         else:
             floor = -15.0
         assert red > floor, (matrix, p, red)
-    for (matrix, p), times in cells.items():
+    for (_matrix, p), times in cells.items():
         ours = next(t for m, t in times.items() if m in ("2D-GP", "2D-HP"))
         if p >= 64:
             # (2) at scale, the paper's method beats every 1D layout, always

@@ -12,7 +12,7 @@ Expected shape: 2D-GP-MC (or 2D-HP for rmat_26) lowest at scale; plain
 
 from collections import defaultdict
 
-from conftest import EIGEN_MATRICES, write_result
+from conftest import write_result
 
 from repro.bench import format_seconds, format_table, reduction_vs_best
 

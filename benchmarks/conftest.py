@@ -19,6 +19,7 @@ import pytest
 from repro.bench import spmv_grid
 from repro.bench.eigen import eigen_grid
 from repro.generators import corpus_names, corpus_spec
+from repro.layouts import paper_methods
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -33,18 +34,12 @@ EIGEN_MATRICES = ("hollywood-2009", "com-orkut", "rmat_26")
 
 def methods_for(matrix_name: str) -> list[str]:
     """The paper's six Table-2 methods for this matrix (GP vs HP resolved)."""
-    kind = corpus_spec(matrix_name).partitioner
-    return ["1d-block", "1d-random", f"1d-{kind}", "2d-block", "2d-random", f"2d-{kind}"]
+    return paper_methods(corpus_spec(matrix_name).partitioner)
 
 
 def eigen_methods_for(matrix_name: str) -> list[str]:
     """Table 4's method set: 8 for GP matrices (incl. MC), 6 for HP."""
-    kind = corpus_spec(matrix_name).partitioner
-    methods = ["1d-block", "1d-random", f"1d-{kind}", "2d-block", "2d-random", f"2d-{kind}"]
-    if kind == "gp":
-        methods.insert(3, "1d-gp-mc")
-        methods.append("2d-gp-mc")
-    return methods
+    return paper_methods(corpus_spec(matrix_name).partitioner, include_mc=True)
 
 
 def write_result(name: str, text: str) -> Path:

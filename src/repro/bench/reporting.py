@@ -16,13 +16,24 @@ def format_seconds(t: float) -> str:
     return f"{t:.4f}"
 
 
-def format_table(headers: list[str], rows: list[tuple]) -> str:
-    """Render an aligned monospace table."""
+def format_table(headers: list[str], rows: list[tuple], align: str = "r") -> str:
+    """Render an aligned monospace table.
+
+    ``align`` is one character per column ("l" or "r"); a single character
+    applies to every column (default: right-aligned, the numeric-table
+    shape of the paper).
+    """
+    if len(align) == 1:
+        align = align * len(headers)
+    if len(align) != len(headers):
+        raise ValueError(f"align {align!r} does not match {len(headers)} columns")
     cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
     widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
     lines = []
     for ri, row in enumerate(cells):
-        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        padded = [c.ljust(w) if a == "l" else c.rjust(w)
+                  for c, w, a in zip(row, widths, align)]
+        lines.append("  ".join(padded).rstrip())
         if ri == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)

@@ -13,6 +13,10 @@ once on a workstation, reuse for many analyses:
     Compare data layouts for SpMV on the simulated machine (a Table-2 row).
 ``eigen MATRIX -p P [--methods ...] [-k K]``
     Compare layouts for the normalized-Laplacian eigensolve (a Table-4 row).
+``regress {generate,check,diff}``
+    Golden-invariant regression harness: snapshot the plan-level metrics
+    of the layout x matrix x p grid, or check the working tree against
+    the snapshots in ``tests/golden/`` (see :mod:`repro.regress`).
 """
 
 from __future__ import annotations
@@ -122,6 +126,63 @@ def _cmd_eigen(args) -> int:
     return 0
 
 
+def _regress_spec(args):
+    from .generators.corpus import CORPUS
+    from .regress import DEFAULT_SPEC, GridSpec
+
+    if args.matrices is None and args.procs is None and args.seed == 0:
+        return DEFAULT_SPEC
+    matrices = tuple(args.matrices) if args.matrices else DEFAULT_SPEC.matrices
+    for name in matrices:
+        if name not in CORPUS:
+            raise SystemExit(
+                f"error: {name!r} is not a corpus matrix (corpus: {', '.join(CORPUS)})"
+            )
+    procs = tuple(args.procs) if args.procs else DEFAULT_SPEC.procs
+    return GridSpec(matrices=matrices, procs=procs, seed=args.seed)
+
+
+def _cmd_regress(args) -> int:
+    from .regress import (
+        check_goldens,
+        diff_golden_dirs,
+        format_mismatches,
+        generate_goldens,
+    )
+
+    if args.action == "diff":
+        mismatches = diff_golden_dirs(args.dir_a, args.dir_b)
+        print(format_mismatches(mismatches))
+        return 1 if mismatches else 0
+
+    spec = _regress_spec(args)
+    golden_dir = Path(args.golden_dir)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    if args.action == "generate":
+        paths = generate_goldens(
+            spec, golden_dir, cache_dir=cache_dir, progress=print
+        )
+        print(f"wrote {len(paths)} golden file(s) under {golden_dir}")
+        return 0
+
+    mismatches, ncells = check_goldens(
+        spec, golden_dir, cache_dir=cache_dir, rtol=args.rtol, progress=print
+    )
+    if not mismatches:
+        print(
+            f"regress check OK: {ncells} cells across {len(spec.matrices)} "
+            f"matrices match {golden_dir}"
+        )
+        return 0
+    report = format_mismatches(mismatches)
+    print(f"regress check FAILED: {len(mismatches)} mismatch(es) in {ncells} cells")
+    print(report)
+    if args.report:
+        Path(args.report).write_text(report + "\n")
+        print(f"diff report written to {args.report}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="2D Cartesian graph partitioning toolkit (SC13 reproduction)"
@@ -159,6 +220,34 @@ def build_parser() -> argparse.ArgumentParser:
                    default=["1d-block", "2d-block", "2d-gp", "2d-gp-mc"])
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_eigen)
+
+    p = sub.add_parser(
+        "regress", help="golden-invariant regression harness (see tests/golden/)"
+    )
+    rsub = p.add_subparsers(dest="action", required=True)
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--golden-dir", default="tests/golden",
+                        help="golden tree location (default: tests/golden)")
+    common.add_argument("--matrices", nargs="+",
+                        help="corpus subset (default: all ten)")
+    common.add_argument("--procs", nargs="+", type=int,
+                        help="process counts (default: 4 16 64)")
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--cache-dir",
+                        help="partition cache (default: $REPRO_CACHE_DIR)")
+    g = rsub.add_parser("generate", parents=[common],
+                        help="recompute the grid and (over)write goldens")
+    g.set_defaults(fn=_cmd_regress)
+    c = rsub.add_parser("check", parents=[common],
+                        help="recompute the grid and compare against goldens")
+    c.add_argument("--rtol", type=float, default=1e-9,
+                   help="relative tolerance for modeled-seconds metrics")
+    c.add_argument("--report", help="also write the mismatch table to this file")
+    c.set_defaults(fn=_cmd_regress)
+    d = rsub.add_parser("diff", help="compare two golden trees file-by-file")
+    d.add_argument("dir_a")
+    d.add_argument("dir_b")
+    d.set_defaults(fn=_cmd_regress)
     return parser
 
 

@@ -13,7 +13,7 @@ from .cartesian import nonzero_partition, cartesian_layout, nonzero_balance
 from .explicit import ExplicitLayout
 from .mondriaan import mondriaan_layout
 from .finegrain import finegrain_layout, finegrain_hypergraph
-from .factory import make_layout, LAYOUT_NAMES, canonical_name
+from .factory import make_layout, LAYOUT_NAMES, canonical_name, paper_methods
 
 __all__ = [
     "Layout",
@@ -32,4 +32,5 @@ __all__ = [
     "make_layout",
     "LAYOUT_NAMES",
     "canonical_name",
+    "paper_methods",
 ]

@@ -32,7 +32,7 @@ from .cartesian import cartesian_layout
 from .oned import oned_layout
 from .providers import block_rpart, partitioned_rpart, random_rpart
 
-__all__ = ["make_layout", "LAYOUT_NAMES", "canonical_name"]
+__all__ = ["make_layout", "LAYOUT_NAMES", "canonical_name", "paper_methods"]
 
 #: Accepted method names, lowercase.
 LAYOUT_NAMES = (
@@ -53,6 +53,29 @@ _PARTITIONER_OF = {"gp": "gp", "hp": "hp", "gp-mc": "gp-mc"}
 def canonical_name(method: str) -> str:
     """Display name used in the paper's tables (e.g. ``"2D-GP"``)."""
     return _DISPLAY[method.lower()]
+
+
+def paper_methods(partitioner: str, include_mc: bool = False) -> list[str]:
+    """The paper's Table-2 method set with the GP-vs-HP choice resolved.
+
+    Six layouts per matrix — block, random and partitioned in 1D and 2D —
+    where ``partitioner`` ("gp" or "hp", from the matrix's
+    :class:`~repro.generators.corpus.CorpusSpec`) picks the partitioned
+    variant, exactly as the paper's "(GP)"/"(HP)" table labels do.
+    ``include_mc`` appends the multiconstraint variants (Table 4's extra
+    columns; only defined for GP matrices).
+    """
+    if partitioner not in _PARTITIONER_OF:
+        raise ValueError(f"unknown partitioner {partitioner!r}; choose from "
+                         f"{sorted(_PARTITIONER_OF)}")
+    methods = [
+        "1d-block", "1d-random", f"1d-{partitioner}",
+        "2d-block", "2d-random", f"2d-{partitioner}",
+    ]
+    if include_mc and partitioner == "gp":
+        methods.insert(3, "1d-gp-mc")
+        methods.append("2d-gp-mc")
+    return methods
 
 
 def make_layout(

@@ -1,0 +1,47 @@
+"""Plan-level metric extraction: every golden quantity, no SpMV executed.
+
+A cell's metrics come in two tiers, distinguished by JSON type so the
+checker needs no side table:
+
+* **ints** — exact invariants of the communication structure
+  (:meth:`CommPlan.invariants` per phase, nonzero maxima, the Table-3
+  max-messages statistic). Bit-exact across machines by construction.
+* **floats** — imbalance ratios and the modeled alpha-beta-gamma phase
+  costs. Deterministic too, but compared under a tight rtol because they
+  are derived via float arithmetic that numpy is free to reassociate.
+
+Everything is computed from :class:`DistSparseMatrix` build products
+(plans, maps, local nonzero counts); ``charge_spmv`` prices the schedule
+without running it, so extracting a cell costs a matrix distribution but
+zero multiplies.
+"""
+
+from __future__ import annotations
+
+from ..runtime import SPMV_PHASES, CostLedger, comm_stats
+from ..runtime.distmatrix import DistSparseMatrix
+
+__all__ = ["cell_metrics"]
+
+
+def cell_metrics(dist: DistSparseMatrix) -> dict[str, int | float]:
+    """All golden metrics for one distributed matrix, as a flat dict."""
+    stats = comm_stats(dist)
+    nnz = dist.local_nnz
+    cell: dict[str, int | float] = {
+        "nnz": int(nnz.sum()),
+        "max_rank_nnz": int(nnz.max()) if len(nnz) else 0,
+        "max_owned_entries": int(dist.vector_map.counts().max()),
+        "max_messages": int(stats.max_messages),
+    }
+    for phase, plan in (("expand", dist.import_plan), ("fold", dist.fold_plan)):
+        for key, value in plan.invariants().items():
+            cell[f"{phase}_{key}"] = value
+    cell["nnz_imbalance"] = float(stats.nnz_imbalance)
+    cell["vector_imbalance"] = float(stats.vector_imbalance)
+    ledger = CostLedger()
+    dist.charge_spmv(ledger)
+    for phase in SPMV_PHASES:
+        cell[f"modeled_{phase.replace('-', '_')}_seconds"] = float(ledger.get(phase))
+    cell["modeled_spmv100_seconds"] = float(100.0 * ledger.spmv_total())
+    return cell

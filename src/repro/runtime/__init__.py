@@ -8,7 +8,7 @@ structure into modeled wall-clock time. Communication metrics (max
 messages, volumes, imbalance) are exact, machine-independent quantities.
 """
 
-from .machine import MachineModel, CAB, HOPPER, ZERO_COMM
+from .machine import MachineModel, CAB, HOPPER, ZERO_COMM, MACHINES
 from .maps import Map
 from .plan import CommPlan
 from .trace import CostLedger, SPMV_PHASES
@@ -24,6 +24,7 @@ __all__ = [
     "CAB",
     "HOPPER",
     "ZERO_COMM",
+    "MACHINES",
     "Map",
     "CommPlan",
     "CostLedger",

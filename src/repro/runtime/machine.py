@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MachineModel", "CAB", "HOPPER", "ZERO_COMM"]
+__all__ = ["MachineModel", "CAB", "HOPPER", "ZERO_COMM", "MACHINES"]
 
 
 @dataclass(frozen=True)
@@ -71,3 +71,6 @@ HOPPER = MachineModel(name="hopper", alpha=1.8e-6, beta=3.2e-9, gamma_flop=8.0e-
 
 #: Communication-free model: isolates load-balance effects in ablations.
 ZERO_COMM = MachineModel(name="zero-comm", alpha=0.0, beta=0.0, gamma_flop=6.5e-10, gamma_mem=1.0e-9)
+
+#: Name -> preset registry (CLI flags, golden-file headers).
+MACHINES: dict[str, MachineModel] = {m.name: m for m in (CAB, HOPPER, ZERO_COMM)}

@@ -8,6 +8,7 @@ ours against the paper's directly.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,6 +52,10 @@ class CommStats:
     def row(self) -> tuple:
         """(imbal, max msgs, total CV) — Table 3's metric columns."""
         return (self.nnz_imbalance, self.max_messages, self.total_comm_volume)
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Field -> value mapping (plain ints/floats, JSON-serializable)."""
+        return dataclasses.asdict(self)
 
 
 def comm_stats(dist: DistSparseMatrix) -> CommStats:

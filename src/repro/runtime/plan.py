@@ -164,6 +164,25 @@ class CommPlan:
         """Total doubles moved (the paper's "total CV" for this phase)."""
         return int(self.ptr[-1])
 
+    def invariants(self) -> dict[str, int]:
+        """The plan's exact, machine-independent invariants, as plain ints.
+
+        These are the quantities the regression harness snapshots as golden
+        values (see :mod:`repro.regress`): any refactor of plan construction
+        or of the partitioners that changes the communication structure
+        changes at least one of them. All are bit-exact — no floats.
+        """
+        sent, recv = self.sent_counts(), self.recv_counts()
+        svol, rvol = self.sent_volume(), self.recv_volume()
+        return {
+            "messages": self.nmessages,
+            "volume": self.total_volume,
+            "max_sent_messages": int(sent.max()) if len(sent) else 0,
+            "max_recv_messages": int(recv.max()) if len(recv) else 0,
+            "max_sent_volume": int(svol.max()) if len(svol) else 0,
+            "max_recv_volume": int(rvol.max()) if len(rvol) else 0,
+        }
+
     def phase_time(self, machine) -> float:
         """Modeled wall-clock of this phase: max over ranks of send+recv.
 

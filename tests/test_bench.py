@@ -1,7 +1,6 @@
 """Tests for the bench harness, profiles and reporting."""
 
 import numpy as np
-import pytest
 
 from repro.bench import (
     PAPER_TO_PROXY_PROCS,

@@ -1,8 +1,6 @@
 """Tests for repro.partitioning.coarsen — matching and contraction."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.generators import grid2d, rmat
 from repro.graphs import from_edges

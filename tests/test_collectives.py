@@ -52,7 +52,6 @@ class TestAlgorithms:
             phase_time(many_peer_plan, CAB, "carrier-pigeon")
 
     def test_empty_plan_costs_nothing(self):
-        owner = Map(np.zeros(4, dtype=np.int64), 1)
         plan = CommPlan.build([np.array([], dtype=np.int64)], Map(np.zeros(4, dtype=np.int64), 1))
         for alg in COLLECTIVE_ALGORITHMS:
             assert phase_time(plan, CAB, alg) == 0.0

@@ -10,7 +10,6 @@ analysis says they move.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.generators import rmat

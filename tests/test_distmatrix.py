@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.generators import grid2d, rmat
+from repro.generators import rmat
 from repro.layouts import make_layout, process_grid_shape
 from repro.runtime import CAB, ZERO_COMM, CostLedger, DistSparseMatrix, comm_stats
 

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.generators import grid2d, rmat
+from repro.generators import rmat
 from repro.layouts import make_layout
 from repro.runtime import CostLedger, DistSparseMatrix, Map, SpmvEngine
 

@@ -129,7 +129,6 @@ class TestPreferentialAttachment:
 
 def _clustering_estimate(A, rng, samples=300):
     """Monte-Carlo mean local clustering coefficient."""
-    n = A.shape[0]
     deg = nonzeros_per_row(A)
     eligible = np.flatnonzero(deg >= 2)
     cs = []

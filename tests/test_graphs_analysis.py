@@ -8,7 +8,7 @@ from repro.graphs import (
     graph_stats,
     powerlaw_exponent_mle,
 )
-from repro.generators import grid2d, rmat
+from repro.generators import grid2d
 
 
 class TestGraphStats:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.generators import grid2d, rmat
 from repro.graphs import from_edges
 from repro.partitioning import Hypergraph, hypergraph_recursive_bisection
 from repro.partitioning.hcoarsen import hcontract, similarity_graph

@@ -11,7 +11,6 @@ winning every cell. On the structured scale-free graphs that make up most
 of the corpus (social, web, BTER), the strict ordering holds.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import performance_profile, fraction_best, run_spmv_cell, spmv_grid

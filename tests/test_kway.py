@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.generators import grid2d, rmat
 from repro.partitioning import (
     PartGraph,
     derive_nested_partition,

@@ -1,6 +1,5 @@
 """Tests for the per-rank memory model."""
 
-import numpy as np
 
 from repro.layouts import make_layout
 from repro.runtime import DistSparseMatrix

@@ -1,7 +1,5 @@
 """Tests for the data-migration cost model."""
 
-import numpy as np
-import pytest
 
 from repro.layouts import make_layout
 from repro.runtime import migration_stats

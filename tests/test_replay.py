@@ -7,14 +7,12 @@ have charged.
 """
 
 import numpy as np
-import pytest
 
 from repro.graphs import normalized_laplacian
 from repro.layouts import make_layout
 from repro.runtime import CAB, CostLedger, DistSparseMatrix, DistVectorSpace, Map
 from repro.solvers import (
     DistOperator,
-    RecordingOperator,
     RecordingSpace,
     eigsh_dist,
     modeled_solve_seconds,

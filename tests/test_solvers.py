@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 import scipy.sparse.linalg as sla
 
-from repro.generators import grid2d, rmat
 from repro.graphs import normalized_laplacian
 from repro.layouts import make_layout
-from repro.runtime import CAB, CostLedger, DistSparseMatrix
+from repro.runtime import CAB, DistSparseMatrix
 from repro.solvers import (
     DistOperator,
     eigsh_dist,
