@@ -1,0 +1,63 @@
+"""Resilience campaign — modeled fault-tolerance overhead by layout.
+
+The paper argues 2D layouts bound per-rank message counts by
+``pr + pc - 2`` while 1D layouts of scale-free graphs approach ``p - 1``
+(section 3.2). Fail-stop recovery inherits exactly that structure: a dead
+rank's state is rebuilt by re-syncing with its communication peers, so 2D
+layouts also bound the *recovery fan-out* — a resilience advantage the
+paper never measured. This bench replays one seeded fail-stop campaign
+(:mod:`repro.runtime.faults`) across the paper's six layouts at p=64 and
+reports per-layout resilience overhead (ABFT detection + checkpoints +
+recovery, all alpha-beta-gamma modeled) next to the recovery-peer counts.
+
+All numbers are modeled, not measured — see EXPERIMENTS.md §12.
+"""
+
+from conftest import methods_for, write_result
+
+from repro.bench import format_table
+from repro.bench.harness import layout_for
+from repro.generators import load_corpus_matrix
+from repro.runtime import FaultPlan, fault_campaign
+from repro.runtime.faults import CAMPAIGN_COLUMNS
+
+MATRIX = "com-liveJournal"
+PROCS = 64
+ITERATIONS = 100
+FAILSTOP_RATE = 0.03
+SEED = 0
+
+
+def test_resilience_campaign(benchmark):
+    A = load_corpus_matrix(MATRIX)
+    methods = methods_for(MATRIX)
+    layouts = [layout_for(A, m, PROCS, seed=SEED) for m in methods]
+    plan = FaultPlan.from_rates(
+        PROCS, ITERATIONS, seed=SEED, failstop_rate=FAILSTOP_RATE
+    )
+    assert plan.failstops, "campaign needs at least one fail-stop to price"
+
+    def run():
+        return fault_campaign(A, layouts, plan)
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(CAMPAIGN_COLUMNS, [c.row() for c in cells])
+    path = write_result("resilience_campaign", table)
+    print(f"\n[Resilience] {MATRIX} p={PROCS}, fail-stop rate "
+          f"{FAILSTOP_RATE}/iter (written to {path})\n{table}")
+
+    by = {c.layout: c for c in cells}
+    grid_bound = 14  # pr + pc - 2 at p = 64
+    # 2D recovery fan-out is bounded by the process grid; 1D is not
+    for name, cell in by.items():
+        if name.startswith("2D"):
+            assert cell.max_recovery_peers <= grid_bound
+        else:
+            assert cell.max_recovery_peers > grid_bound
+    # every scheduled fault was detected, and recovery was actually priced
+    for cell in cells:
+        assert cell.detected == cell.faults
+        assert cell.recover_seconds > 0.0
+        assert cell.overhead > 0.0
+    # identical plan, identical schedule: events don't depend on layout
+    assert len({c.faults for c in cells}) == 1

@@ -17,6 +17,17 @@ once on a workstation, reuse for many analyses:
     Golden-invariant regression harness: snapshot the plan-level metrics
     of the layout x matrix x p grid, or check the working tree against
     the snapshots in ``tests/golden/`` (see :mod:`repro.regress`).
+``faults {run,campaign}``
+    Deterministic fault-injection campaigns (fail-stop, silent data
+    corruption, stragglers) with ABFT detection and costed recovery —
+    ``run`` replays one seeded plan against one layout and prints the
+    event trace; ``campaign`` sweeps fail-stop rates across layouts
+    (see :mod:`repro.runtime.faults`).
+
+Every subcommand that uses randomness (partitioning, fault schedules,
+solver start vectors) takes the same ``--seed`` flag; one seed makes the
+whole pipeline — plans, injections, detection verdicts, modeled seconds —
+bit-reproducible.
 """
 
 from __future__ import annotations
@@ -165,6 +176,17 @@ def _cmd_regress(args) -> int:
         print(f"wrote {len(paths)} golden file(s) under {golden_dir}")
         return 0
 
+    # distinguish "no snapshots at all" (exit 3, before the expensive
+    # recompute) from "snapshots disagree" (exit 1)
+    from .regress import golden_path
+
+    if not any(golden_path(golden_dir, m).exists() for m in spec.matrices):
+        print(
+            f"regress check: no golden snapshots under {golden_dir} — "
+            f"run `python -m repro regress generate` first"
+        )
+        return 3
+
     mismatches, ncells = check_goldens(
         spec, golden_dir, cache_dir=cache_dir, rtol=args.rtol, progress=print
     )
@@ -183,11 +205,77 @@ def _cmd_regress(args) -> int:
     return 1
 
 
+def _cmd_faults(args) -> int:
+    from .bench.harness import layout_for
+    from .bench.reporting import format_table
+    from .runtime import CAB, DistSparseMatrix, FaultConfig, FaultPlan
+    from .runtime.faults import CAMPAIGN_COLUMNS, fault_campaign, run_with_faults
+
+    A = _load(args.matrix)
+    config = FaultConfig(
+        abft=not args.no_abft,
+        checkpoint_interval=args.checkpoint_interval,
+        recovery_strategy=args.strategy,
+    )
+
+    def plan_for(failstop_rate: float) -> FaultPlan:
+        return FaultPlan.from_rates(
+            args.procs,
+            args.iterations,
+            seed=args.seed,
+            failstop_rate=failstop_rate,
+            corruption_rate=args.corruption_rate,
+            straggler_rate=args.straggler_rate,
+        )
+
+    if args.action == "run":
+        plan = plan_for(args.failstop_rate)
+        layout = layout_for(A, args.method, args.procs, seed=args.seed)
+        dist = DistSparseMatrix(A, layout, CAB)
+        res = run_with_faults(dist, plan, config=config, layout_name=layout.name)
+        print(
+            f"{layout.name} p={args.procs}: {plan.nevents} scheduled fault(s), "
+            f"seed {args.seed}"
+        )
+        if res.ledger.events:
+            print(format_table(
+                ["iter", "kind", "rank", "phase", "detected", "seconds", "note"],
+                [e.row() for e in res.ledger.events],
+            ))
+        for phase, t in sorted(res.ledger.breakdown().items()):
+            print(f"  {phase:<14} {t:.4e} s")
+        print(
+            f"clean {res.clean_seconds:.4e} s -> faulty {res.total_seconds:.4e} s "
+            f"({100.0 * res.overhead:.1f}% resilience overhead)"
+        )
+        return 0
+
+    layouts = [layout_for(A, mth, args.procs, seed=args.seed) for mth in args.methods]
+    for rate in args.failstop_rates:
+        plan = plan_for(rate)
+        cells = fault_campaign(A, layouts, plan, config=config)
+        print(
+            f"-- fail-stop rate {rate:g}/iter over {args.iterations} iterations "
+            f"({plan.nevents} event(s), seed {args.seed})"
+        )
+        print(format_table(CAMPAIGN_COLUMNS, [c.row() for c in cells]))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="2D Cartesian graph partitioning toolkit (SC13 reproduction)"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # one --seed, shared verbatim by every randomness-using subcommand:
+    # a single value reproduces the whole pipeline bit-for-bit
+    seeded = argparse.ArgumentParser(add_help=False)
+    seeded.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for partitioning, start vectors and fault schedules "
+             "(default: 0; one seed makes the run bit-reproducible)",
+    )
 
     sub.add_parser("corpus", help="list the proxy corpus").set_defaults(fn=_cmd_corpus)
 
@@ -195,44 +283,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("matrix")
     p.set_defaults(fn=_cmd_stats)
 
-    p = sub.add_parser("partition", help="run the graph/hypergraph partitioner")
+    p = sub.add_parser("partition", help="run the graph/hypergraph partitioner",
+                       parents=[seeded])
     p.add_argument("matrix")
     p.add_argument("-k", "--nparts", type=int, required=True)
     p.add_argument("--method", choices=("gp", "hp", "gp-mc"), default="gp")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", help="save the part vector as .npy")
     p.set_defaults(fn=_cmd_partition)
 
     default_methods = ["1d-block", "1d-random", "1d-gp", "2d-block", "2d-random", "2d-gp"]
-    p = sub.add_parser("spmv", help="compare SpMV data layouts")
+    p = sub.add_parser("spmv", help="compare SpMV data layouts", parents=[seeded])
     p.add_argument("matrix")
     p.add_argument("-p", "--procs", type=int, default=64)
     p.add_argument("--methods", nargs="+", default=default_methods)
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_spmv)
 
-    p = sub.add_parser("eigen", help="compare layouts for the eigensolver")
+    p = sub.add_parser("eigen", help="compare layouts for the eigensolver",
+                       parents=[seeded])
     p.add_argument("matrix")
     p.add_argument("-p", "--procs", type=int, default=64)
     p.add_argument("-k", type=int, default=10)
     p.add_argument("--tol", type=float, default=1e-3)
     p.add_argument("--methods", nargs="+",
                    default=["1d-block", "2d-block", "2d-gp", "2d-gp-mc"])
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_eigen)
 
     p = sub.add_parser(
         "regress", help="golden-invariant regression harness (see tests/golden/)"
     )
     rsub = p.add_subparsers(dest="action", required=True)
-    common = argparse.ArgumentParser(add_help=False)
+    common = argparse.ArgumentParser(add_help=False, parents=[seeded])
     common.add_argument("--golden-dir", default="tests/golden",
                         help="golden tree location (default: tests/golden)")
     common.add_argument("--matrices", nargs="+",
                         help="corpus subset (default: all ten)")
     common.add_argument("--procs", nargs="+", type=int,
                         help="process counts (default: 4 16 64)")
-    common.add_argument("--seed", type=int, default=0)
     common.add_argument("--cache-dir",
                         help="partition cache (default: $REPRO_CACHE_DIR)")
     g = rsub.add_parser("generate", parents=[common],
@@ -248,6 +334,39 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("dir_a")
     d.add_argument("dir_b")
     d.set_defaults(fn=_cmd_regress)
+
+    p = sub.add_parser(
+        "faults", help="deterministic fault-injection campaigns (see DESIGN.md §8)"
+    )
+    fsub = p.add_subparsers(dest="action", required=True)
+    fcommon = argparse.ArgumentParser(add_help=False, parents=[seeded])
+    fcommon.add_argument("matrix")
+    fcommon.add_argument("-p", "--procs", type=int, default=64)
+    fcommon.add_argument("--iterations", type=int, default=100,
+                         help="SpMV iterations to simulate (default: 100)")
+    fcommon.add_argument("--corruption-rate", type=float, default=0.0,
+                         help="per-iteration silent-corruption probability")
+    fcommon.add_argument("--straggler-rate", type=float, default=0.0,
+                         help="per-iteration straggler-onset probability")
+    fcommon.add_argument("--checkpoint-interval", type=int, default=10,
+                         help="iterations between checkpoints (0 disables)")
+    fcommon.add_argument("--strategy", choices=("spare", "redistribute"),
+                         default="spare", help="fail-stop recovery strategy")
+    fcommon.add_argument("--no-abft", action="store_true",
+                         help="disable ABFT checksum detection")
+    f = fsub.add_parser("run", parents=[fcommon],
+                        help="one seeded plan against one layout, with event trace")
+    f.add_argument("--method", default="2d-gp")
+    f.add_argument("--failstop-rate", type=float, default=0.02,
+                   help="per-iteration fail-stop probability (default: 0.02)")
+    f.set_defaults(fn=_cmd_faults)
+    f = fsub.add_parser("campaign", parents=[fcommon],
+                        help="sweep fail-stop rates across layouts")
+    f.add_argument("--methods", nargs="+", default=default_methods)
+    f.add_argument("--failstop-rates", nargs="+", type=float,
+                   default=[0.0, 0.02, 0.05],
+                   help="fail-stop rates to sweep (default: 0 0.02 0.05)")
+    f.set_defaults(fn=_cmd_faults)
     return parser
 
 

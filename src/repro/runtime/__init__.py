@@ -11,13 +11,26 @@ messages, volumes, imbalance) are exact, machine-independent quantities.
 from .machine import MachineModel, CAB, HOPPER, ZERO_COMM, MACHINES
 from .maps import Map
 from .plan import CommPlan
-from .trace import CostLedger, SPMV_PHASES
+from .trace import CostLedger, FaultEvent, SPMV_PHASES, FAULT_PHASES
 from .distmatrix import DistSparseMatrix
 from .distvector import DistVectorSpace
-from .engine import SpmvEngine
-from .metrics import CommStats, comm_stats
+from .engine import SpmvEngine, AbftCheck
+from .metrics import CommStats, comm_stats, recovery_peers, max_recovery_peers
 from .collectives import COLLECTIVE_ALGORITHMS, phase_time
-from .migration import MigrationStats, migration_stats
+from .migration import MigrationStats, migration_stats, price_pair_words
+from .faults import (
+    FailStop,
+    Corruption,
+    Straggler,
+    FaultPlan,
+    FaultConfig,
+    RecoveryStats,
+    FaultRunResult,
+    CampaignCell,
+    recovery_stats,
+    run_with_faults,
+    fault_campaign,
+)
 
 __all__ = [
     "MachineModel",
@@ -28,14 +41,31 @@ __all__ = [
     "Map",
     "CommPlan",
     "CostLedger",
+    "FaultEvent",
     "SPMV_PHASES",
+    "FAULT_PHASES",
     "DistSparseMatrix",
     "DistVectorSpace",
     "SpmvEngine",
+    "AbftCheck",
     "CommStats",
     "comm_stats",
+    "recovery_peers",
+    "max_recovery_peers",
     "COLLECTIVE_ALGORITHMS",
     "phase_time",
     "MigrationStats",
     "migration_stats",
+    "price_pair_words",
+    "FailStop",
+    "Corruption",
+    "Straggler",
+    "FaultPlan",
+    "FaultConfig",
+    "RecoveryStats",
+    "FaultRunResult",
+    "CampaignCell",
+    "recovery_stats",
+    "run_with_faults",
+    "fault_campaign",
 ]

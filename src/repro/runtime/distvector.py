@@ -105,6 +105,18 @@ class DistVectorSpace:
         Q, R = np.linalg.qr(X.reshape(len(X), -1))
         return Q, R
 
+    def charge_checkpoint(self, ncols: int) -> float:
+        """Charge one coordinated snapshot of *ncols* distributed vectors.
+
+        Every rank streams its owned slice of the basis to stable storage —
+        one alpha message plus beta per double, the busiest rank setting
+        the pace (the same postal accounting as a communication phase) —
+        charged to the ``checkpoint`` phase. Returns the modeled seconds.
+        """
+        t = self.machine.alpha + self.machine.beta * float(self._max_local) * ncols
+        self.ledger.add("checkpoint", t)
+        return t
+
     def gemm(self, V: np.ndarray, S: np.ndarray) -> np.ndarray:
         """``V @ S`` (basis rotation at a thick restart).
 

@@ -38,14 +38,60 @@ schedules, which the engine compiles but does not alter.
 through the same two operators in one shot — k SpMVs for two CSR-times-
 dense calls — which is how the block Krylov-Schur solver amortizes index
 traffic over its block width. Column j equals ``spmv(X[:, j])`` exactly.
+
+ABFT checksums (Huang & Abraham 1984)
+-------------------------------------
+For fault tolerance the engine also precomputes *checksum vectors*: for
+each rank r, the column sums of its block rows of ``local``, i.e. the
+weight vector ``w_r = e^T A_r`` such that rank r's partial-sum buffer must
+satisfy ``sum(partials_r) == w_r @ x`` for the *true* x. Comparing the two
+sides (:meth:`abft_check`) detects any corruption injected into the
+expand payloads, the local CSR values, or the local compute of rank r —
+and localises it to the rank — at O(n/p) modeled cost per SpMV (each rank
+sums its own buffer and evaluates one sparse dot, then one p-word
+allreduce). A second, global identity ``sum(y) == sum_r w_r @ x`` catches
+corruption of fold payloads in transit (after the per-rank checksums
+passed at the producer). Thresholds scale with ``|w_r| @ |x|`` so float
+reassociation never false-positives; see
+:class:`~repro.runtime.faults.FaultPlan` for the injection side.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["SpmvEngine"]
+__all__ = ["SpmvEngine", "AbftCheck"]
+
+#: Relative detection threshold: generous against float-reassociation
+#: noise (~1e3 ulp at double precision), far below any meaningful
+#: corruption (the injection default is 1e-3 relative).
+ABFT_RTOL = 1e-8
+
+
+@dataclass(frozen=True)
+class AbftCheck:
+    """Verdict of one ABFT checksum test over a four-phase SpMV.
+
+    ``rank_discrepancy[r]`` is ``|sum(partials_r) - w_r @ x|``;
+    ``rank_threshold[r]`` the reassociation-noise bound it is compared
+    against. ``flagged_ranks`` lists ranks whose discrepancy exceeded the
+    bound (expand/compute-side corruption); ``fold_flagged`` is True when
+    the per-rank sums passed but the folded result violates the global
+    checksum (fold-transit corruption).
+    """
+
+    rank_discrepancy: np.ndarray
+    rank_threshold: np.ndarray
+    flagged_ranks: np.ndarray
+    fold_flagged: bool
+
+    @property
+    def detected(self) -> bool:
+        """True if any checksum test tripped."""
+        return bool(len(self.flagged_ranks)) or self.fold_flagged
 
 
 class SpmvEngine:
@@ -104,6 +150,88 @@ class SpmvEngine:
         self._fold = sp.csr_matrix(
             (np.ones(len(src)), src[order], indptr),
             shape=(n, len(row_concat)),
+        )
+
+        #: slot -> owning rank of the concatenated partial-sum buffer
+        self._slot_rank = rank_of_slot
+        self._nprocs = p
+        self._abft: tuple[sp.csr_matrix, sp.csr_matrix, sp.csr_matrix] | None = None
+
+    # -- ABFT checksums ----------------------------------------------------
+
+    def _abft_operators(self):
+        """(S, E, Eabs): slot->rank selector, checksum weights, |weights|.
+
+        ``S`` is the (p, slots) 0/1 matrix summing each rank's partial
+        buffer; ``E = S @ local`` holds rank r's Huang-Abraham checksum
+        vector ``w_r = e^T A_r`` in row r; ``Eabs`` the entrywise absolute
+        values for the noise bound. Built lazily: campaigns with ABFT off
+        never pay for it.
+        """
+        if self._abft is None:
+            nslots = self._local.shape[0]
+            S = sp.csr_matrix(
+                (np.ones(nslots), self._slot_rank,
+                 np.arange(nslots + 1, dtype=np.int64)),
+                shape=(nslots, self._nprocs),
+            ).T.tocsr()
+            E = (S @ self._local).tocsr()
+            Eabs = sp.csr_matrix(
+                (np.abs(E.data), E.indices, E.indptr), shape=E.shape
+            )
+            self._abft = (S, E, Eabs)
+        return self._abft
+
+    def spmv_with_partials(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(y, partials)``: the result plus the pre-fold partial sums.
+
+        ``partials`` is the concatenation of every rank's partial-sum
+        buffer (the expand + local-compute output); ``y = fold @
+        partials``. The fault injector perturbs ``partials`` between the
+        two stages to model corruption at specific pipeline points.
+        """
+        partials = self._local @ x
+        return self._fold @ partials, partials
+
+    def fold(self, partials: np.ndarray) -> np.ndarray:
+        """Fold + sum a (possibly perturbed) partial-sum buffer."""
+        return self._fold @ partials
+
+    def abft_check(
+        self,
+        x: np.ndarray,
+        partials: np.ndarray,
+        y: np.ndarray | None = None,
+        rtol: float = ABFT_RTOL,
+    ) -> AbftCheck:
+        """Huang-Abraham checksum test of one executed SpMV.
+
+        Compares each rank's observed partial sum against its precomputed
+        checksum dot ``w_r @ x``, flagging ranks whose discrepancy exceeds
+        ``rtol * (|w_r| @ |x| + |observed|)`` — a bound the exact
+        computation can only approach through float reassociation, so a
+        clean run never trips it (tested over the golden corpus). When *y*
+        is given, additionally checks the global identity
+        ``sum(y) == sum_r w_r @ x`` that catches fold-transit corruption.
+        """
+        S, E, Eabs = self._abft_operators()
+        observed = S @ partials
+        expected = E @ x
+        noise_scale = Eabs @ np.abs(x)
+        disc = np.abs(observed - expected)
+        threshold = rtol * (noise_scale + np.abs(observed))
+        flagged = np.flatnonzero(disc > threshold)
+        fold_flagged = False
+        if y is not None:
+            total_disc = abs(float(np.sum(y)) - float(np.sum(expected)))
+            total_thr = rtol * float(np.sum(noise_scale) + np.abs(y).sum())
+            # only attribute to the fold if the producer-side sums passed
+            fold_flagged = total_disc > total_thr and len(flagged) == 0
+        return AbftCheck(
+            rank_discrepancy=disc,
+            rank_threshold=threshold,
+            flagged_ranks=flagged,
+            fold_flagged=fold_flagged,
         )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:

@@ -23,6 +23,7 @@ expected to match the paper (different machine, different decade) — the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,7 +43,10 @@ class MachineModel:
 
     def __post_init__(self) -> None:
         for field_name in ("alpha", "beta", "gamma_flop", "gamma_mem"):
-            if getattr(self, field_name) < 0:
+            value = getattr(self, field_name)
+            if not math.isfinite(value):
+                raise ValueError(f"{field_name} must be finite, got {value!r}")
+            if value < 0:
                 raise ValueError(f"{field_name} must be non-negative")
 
     def message_time(self, ndoubles: int | np.ndarray) -> float | np.ndarray:

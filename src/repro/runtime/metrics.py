@@ -14,8 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from .distmatrix import DistSparseMatrix
+from .plan import CommPlan
 
-__all__ = ["CommStats", "comm_stats"]
+__all__ = ["CommStats", "comm_stats", "recovery_peers", "max_recovery_peers"]
 
 
 @dataclass(frozen=True)
@@ -79,3 +80,35 @@ def comm_stats(dist: DistSparseMatrix) -> CommStats:
         expand_messages=dist.import_plan.nmessages,
         fold_messages=dist.fold_plan.nmessages,
     )
+
+
+def _plan_peers(plan: CommPlan, rank: int) -> set[int]:
+    """Ranks exchanging messages with *rank* under one plan."""
+    peers = set(plan.src[plan.dst == rank].tolist())
+    peers |= set(plan.dst[plan.src == rank].tolist())
+    peers.discard(rank)
+    return peers
+
+
+def recovery_peers(dist: DistSparseMatrix, rank: int) -> int:
+    """Distinct ranks that must participate in recovering *rank*.
+
+    When a rank fails, rebuilding its runtime state touches exactly the
+    ranks it exchanges messages with: expand sources/destinations (its
+    ghost inputs and the consumers of its owned x-entries) and fold
+    partners (the partial sums it ships and receives). For 2D Cartesian
+    layouts this set lies inside the failed rank's process row and column,
+    so it is bounded by ``pr + pc - 2`` regardless of the graph; for 1D
+    layouts of scale-free graphs it approaches ``p - 1`` (a hub row talks
+    to almost everyone) — the resilience analogue of the paper's
+    max-messages argument (section 3.2).
+    """
+    peers = _plan_peers(dist.import_plan, rank) | _plan_peers(dist.fold_plan, rank)
+    return len(peers)
+
+
+def max_recovery_peers(dist: DistSparseMatrix) -> int:
+    """Worst-case :func:`recovery_peers` over all ranks."""
+    if dist.nprocs == 0:
+        return 0
+    return max(recovery_peers(dist, r) for r in range(dist.nprocs))

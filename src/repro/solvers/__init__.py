@@ -9,7 +9,7 @@ paper's other motivating workload.
 
 from .operators import DistOperator, normalized_laplacian_operator
 from .lanczos import lanczos_factorization, lanczos_eigsh, LanczosResult
-from .krylov_schur import eigsh_dist, KrylovSchurResult
+from .krylov_schur import eigsh_dist, KrylovSchurResult, Checkpoint, CheckpointConfig
 from .lobpcg import lobpcg_dist, LobpcgResult
 from .power import pagerank, power_method, PageRankResult, PowerResult
 from .replay import (
@@ -33,6 +33,8 @@ __all__ = [
     "LanczosResult",
     "eigsh_dist",
     "KrylovSchurResult",
+    "Checkpoint",
+    "CheckpointConfig",
     "lobpcg_dist",
     "LobpcgResult",
     "pagerank",

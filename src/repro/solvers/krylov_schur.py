@@ -11,18 +11,36 @@ For symmetric operators Krylov-Schur reduces to thick-restart Lanczos
 keep the l best Ritz pairs plus the residual direction (the "Schur
 restart" — a diagonal block with an arrowhead coupling row), and resume
 expansion from column l.
+
+Checkpoint/restart
+------------------
+The restart boundary is a natural checkpoint: the solver's entire state is
+the basis ``V``, the Rayleigh-quotient matrix ``H``, the carried-column
+count ``l``, the restart index, and the RNG's bit-generator state (used
+only to refill degenerate directions, but captured so a resumed run
+replays the original bit-for-bit). :class:`CheckpointConfig` asks the
+solver to snapshot that state every *every* restarts (optionally persisted
+as ``.npz``); passing the snapshot back via ``resume=`` continues the
+solve exactly where it stopped and converges to the same eigenpairs the
+uninterrupted run reaches. Each snapshot's modeled write cost is charged
+to the ledger's ``checkpoint`` phase
+(:meth:`~repro.runtime.distvector.DistVectorSpace.charge_checkpoint`) —
+the fault campaigns in :mod:`repro.runtime.faults` price the same
+mechanism at the SpMV level.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import os
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .lanczos import expand_krylov
 from .operators import DistOperator
 
-__all__ = ["eigsh_dist", "KrylovSchurResult"]
+__all__ = ["eigsh_dist", "KrylovSchurResult", "Checkpoint", "CheckpointConfig"]
 
 
 @dataclass
@@ -40,6 +58,80 @@ class KrylovSchurResult:
     restarts: int
     matvecs: int
     converged: bool
+
+
+@dataclass
+class Checkpoint:
+    """Resumable solver state captured at a thick-restart boundary.
+
+    ``V``/``H`` are the (n, m+1) basis and Rayleigh-quotient matrix after
+    the contraction, ``l`` the carried columns, ``restart`` the index the
+    resumed loop continues from, ``matvec_count`` the applications already
+    spent (folded into the resumed result's count), and ``rng_state`` the
+    NumPy bit-generator state so the continuation is bit-identical to the
+    uninterrupted run. ``k``/``which``/``tol`` pin the solve configuration;
+    resuming under a different one is refused.
+    """
+
+    V: np.ndarray
+    H: np.ndarray
+    l: int
+    restart: int
+    matvec_count: int
+    rng_state: dict
+    k: int
+    which: str
+    tol: float
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist as an ``.npz`` archive (no pickling; portable)."""
+        np.savez_compressed(
+            path,
+            V=self.V,
+            H=self.H,
+            l=self.l,
+            restart=self.restart,
+            matvec_count=self.matvec_count,
+            rng_state=json.dumps(self.rng_state),
+            k=self.k,
+            which=self.which,
+            tol=self.tol,
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Checkpoint":
+        """Load a snapshot written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as z:
+            return cls(
+                V=z["V"],
+                H=z["H"],
+                l=int(z["l"]),
+                restart=int(z["restart"]),
+                matvec_count=int(z["matvec_count"]),
+                rng_state=json.loads(str(z["rng_state"])),
+                k=int(z["k"]),
+                which=str(z["which"]),
+                tol=float(z["tol"]),
+            )
+
+
+@dataclass
+class CheckpointConfig:
+    """Periodic-snapshot policy for :func:`eigsh_dist`.
+
+    Snapshot every *every* thick restarts; when *path* is set each
+    snapshot overwrites that ``.npz`` file (the latest one is all a
+    restart needs). The solver always stores the most recent snapshot in
+    ``latest``, so in-memory round-trips need no filesystem.
+    """
+
+    every: int = 5
+    path: str | os.PathLike | None = None
+    latest: Checkpoint | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {self.every}")
 
 
 def _select(theta: np.ndarray, which: str) -> np.ndarray:
@@ -63,6 +155,8 @@ def eigsh_dist(
     v0: np.ndarray | None = None,
     seed: int = 0,
     block_size: int = 1,
+    checkpoint: CheckpointConfig | None = None,
+    resume: "Checkpoint | str | os.PathLike | None" = None,
 ) -> KrylovSchurResult:
     """Compute the *k* extremal eigenpairs of a distributed operator.
 
@@ -90,6 +184,17 @@ def eigsh_dist(
         scale-free graphs"); ``block_size > 1`` runs the genuine block
         variant so that finding can be reproduced
         (``benchmarks/bench_ablation_blocksize.py``).
+    checkpoint:
+        Periodic-snapshot policy (:class:`CheckpointConfig`); snapshots
+        land in ``checkpoint.latest`` (and ``checkpoint.path`` when set)
+        and their modeled write cost is charged to the ledger's
+        ``checkpoint`` phase. Block solves (``block_size > 1``) do not
+        support checkpointing.
+    resume:
+        A :class:`Checkpoint` (or path to a saved one) to continue from;
+        ``v0``/``seed`` are then ignored — the snapshot carries the basis
+        and the RNG state, so the continuation is bit-identical to the
+        uninterrupted solve.
     """
     n = op.n
     if k < 1:
@@ -101,20 +206,47 @@ def eigsh_dist(
     if m <= k + 1:
         raise ValueError(f"basis size m={m} too small for k={k} (n={n})")
     if block_size > 1:
+        if checkpoint is not None or resume is not None:
+            raise ValueError("checkpoint/resume is only supported for block_size=1")
         return _eigsh_block(op, k, tol, which, m, max_restarts, v0, seed, block_size)
     rng = np.random.default_rng(seed)
     space = op.space
 
     V = np.zeros((n, m + 1))
     H = np.zeros((m + 1, m + 1))
-    start = v0 if v0 is not None else rng.standard_normal(n)
-    nrm = space.norm(start)
-    if nrm <= 0:
-        raise ValueError("start vector must be nonzero")
-    V[:, 0] = start / nrm
     l = 0  # columns carried over from the previous restart
+    restart0 = 0
+    matvec_offset = 0
+    if resume is not None:
+        ck = resume if isinstance(resume, Checkpoint) else Checkpoint.load(resume)
+        if ck.V.shape != V.shape:
+            raise ValueError(
+                f"checkpoint basis {ck.V.shape} does not fit this solve "
+                f"(expected {V.shape}; n, m and block_size must match)"
+            )
+        if (ck.k, ck.which) != (k, which) or ck.tol != tol:
+            raise ValueError(
+                f"checkpoint was taken for (k={ck.k}, which={ck.which!r}, "
+                f"tol={ck.tol}), refusing to resume with (k={k}, "
+                f"which={which!r}, tol={tol})"
+            )
+        V[:, :] = ck.V
+        H[:, :] = ck.H
+        l = ck.l
+        restart0 = ck.restart
+        matvec_offset = ck.matvec_count
+        rng.bit_generator.state = ck.rng_state
+    else:
+        start = v0 if v0 is not None else rng.standard_normal(n)
+        nrm = space.norm(start)
+        if nrm <= 0:
+            raise ValueError("start vector must be nonzero")
+        V[:, 0] = start / nrm
 
-    for restart in range(max_restarts):
+    theta = np.zeros(m)
+    S = np.eye(m)
+    resid = np.full(m, np.inf)
+    for restart in range(restart0, max_restarts):
         expand_krylov(op, V, H, l, m, rng)
         theta, S = np.linalg.eigh(H[:m, :m])
         order = _select(theta, which)
@@ -124,7 +256,10 @@ def eigsh_dist(
         nconv = int((resid[:k] <= tol * scale).sum())
         if nconv >= k:
             X = space.gemm(V[:, :m], S[:, :k])
-            return KrylovSchurResult(theta[:k], X, resid[:k], restart, op.matvec_count, True)
+            return KrylovSchurResult(
+                theta[:k], X, resid[:k], restart,
+                op.matvec_count + matvec_offset, True,
+            )
 
         # --- thick restart: keep l best Ritz pairs + the residual vector ---
         l = min(k + (m - k) // 2, m - 1)
@@ -137,9 +272,25 @@ def eigsh_dist(
         H[l, :l] = b
         H[:l, l] = b
 
+        if checkpoint is not None and (restart + 1) % checkpoint.every == 0:
+            ck = Checkpoint(
+                V=V.copy(), H=H.copy(), l=l, restart=restart + 1,
+                matvec_count=op.matvec_count + matvec_offset,
+                rng_state=rng.bit_generator.state,
+                k=k, which=which, tol=tol,
+            )
+            checkpoint.latest = ck
+            if checkpoint.path is not None:
+                ck.save(checkpoint.path)
+            charge = getattr(space, "charge_checkpoint", None)
+            if charge is not None:
+                charge(m + 1)
+
     theta_k, S_k = theta[:k], S[:, :k]
     X = space.gemm(V[:, :m], S_k)
-    return KrylovSchurResult(theta_k, X, resid[:k], max_restarts, op.matvec_count, False)
+    return KrylovSchurResult(
+        theta_k, X, resid[:k], max_restarts, op.matvec_count + matvec_offset, False
+    )
 
 
 def _expand_block(op, V, H, c0: int, m: int, b: int, rng) -> None:

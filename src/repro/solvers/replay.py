@@ -62,6 +62,8 @@ class RecordingSpace:
         self.scalar_reductions = 0
         self.vector_reductions = 0
         self.vector_reduction_words = 0
+        self.checkpoints = 0
+        self.checkpoint_cols = 0
         self.ledger = CostLedger()  # unused, kept for interface parity
 
     # mirror DistVectorSpace._charge semantics in abstract units
@@ -110,6 +112,11 @@ class RecordingSpace:
         self.gemm_flop_factor += 2.0 * m * l
         self.stream_factor += float(m + l)
         return V @ S
+
+    def charge_checkpoint(self, ncols):
+        self.checkpoints += 1
+        self.checkpoint_cols += ncols
+        return 0.0
 
 
 class RecordingOperator:

@@ -1,0 +1,87 @@
+"""Checkpoint/restart of the Krylov-Schur eigensolver.
+
+The contract under test: a snapshot taken at a restart boundary, resumed
+in a fresh solver (even a fresh process, via the ``.npz`` round-trip),
+reaches the *same* eigenpairs as the uninterrupted run — bit-identical,
+not merely within tolerance — because the snapshot carries the basis, the
+Rayleigh quotient, and the RNG state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import layout_for
+from repro.graphs import normalized_laplacian
+from repro.runtime import CAB, DistSparseMatrix
+from repro.solvers import Checkpoint, CheckpointConfig, DistOperator, eigsh_dist
+
+
+@pytest.fixture(scope="module")
+def lhat(small_rmat_module):
+    return normalized_laplacian(small_rmat_module)
+
+
+@pytest.fixture(scope="module")
+def small_rmat_module():
+    from repro.generators import rmat
+
+    return rmat(scale=9, edge_factor=8, seed=7)
+
+
+def make_op(lhat, nprocs=9, method="2d-block"):
+    layout = layout_for(lhat, method, nprocs)
+    return DistOperator(DistSparseMatrix(lhat, layout, CAB))
+
+
+class TestCheckpointRestart:
+    def test_roundtrip_matches_uninterrupted_run(self, lhat):
+        ref = eigsh_dist(make_op(lhat), k=6, tol=1e-6, seed=3)
+        assert ref.converged
+
+        cfg = CheckpointConfig(every=2)
+        mid = eigsh_dist(make_op(lhat), k=6, tol=1e-6, seed=3, checkpoint=cfg)
+        assert np.array_equal(mid.eigenvalues, ref.eigenvalues)
+        assert cfg.latest is not None
+        assert 0 < cfg.latest.restart <= ref.restarts
+
+        # resume from the snapshot: seed deliberately wrong to prove the
+        # snapshot, not the arguments, determines the continuation
+        res = eigsh_dist(make_op(lhat), k=6, tol=1e-6, seed=999, resume=cfg.latest)
+        assert np.array_equal(res.eigenvalues, ref.eigenvalues)
+        assert np.array_equal(res.eigenvectors, ref.eigenvectors)
+        assert np.array_equal(res.residuals, ref.residuals)
+        assert res.restarts == ref.restarts
+        assert res.matvecs == ref.matvecs  # offset accounting included
+
+    def test_npz_persistence_roundtrip(self, lhat, tmp_path):
+        path = tmp_path / "solver.npz"
+        cfg = CheckpointConfig(every=2, path=path)
+        ref = eigsh_dist(make_op(lhat), k=6, tol=1e-6, seed=3, checkpoint=cfg)
+        assert path.exists()
+
+        loaded = Checkpoint.load(path)
+        assert loaded.restart == cfg.latest.restart
+        res = eigsh_dist(make_op(lhat), k=6, tol=1e-6, resume=loaded)
+        assert np.array_equal(res.eigenvalues, ref.eigenvalues)
+
+    def test_checkpoint_cost_charged_to_ledger(self, lhat):
+        op = make_op(lhat)
+        eigsh_dist(op, k=6, tol=1e-6, seed=3, checkpoint=CheckpointConfig(every=1))
+        assert op.ledger.get("checkpoint") > 0.0
+
+    def test_mismatched_config_refused(self, lhat):
+        cfg = CheckpointConfig(every=1)
+        eigsh_dist(make_op(lhat), k=6, tol=1e-6, seed=3, checkpoint=cfg)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            eigsh_dist(make_op(lhat), k=5, tol=1e-6, resume=cfg.latest)
+        with pytest.raises(ValueError, match="does not fit"):
+            eigsh_dist(make_op(lhat), k=6, tol=1e-6, m=40, resume=cfg.latest)
+
+    def test_block_solver_rejects_checkpointing(self, lhat):
+        with pytest.raises(ValueError, match="block_size=1"):
+            eigsh_dist(make_op(lhat), k=4, block_size=2,
+                       checkpoint=CheckpointConfig())
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointConfig(every=0)

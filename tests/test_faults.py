@@ -1,0 +1,308 @@
+"""Fault-injection runtime: plans, ABFT detection, recovery, campaigns."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import layout_for
+from repro.runtime import (
+    CAB,
+    CostLedger,
+    DistSparseMatrix,
+    FaultConfig,
+    FaultPlan,
+    MachineModel,
+    fault_campaign,
+    max_recovery_peers,
+    recovery_peers,
+    recovery_stats,
+    run_with_faults,
+)
+from repro.runtime.faults import (
+    Corruption,
+    FailStop,
+    Straggler,
+    abft_detect_seconds,
+    checkpoint_write_seconds,
+)
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_from_rates_is_deterministic(self):
+        a = FaultPlan.from_rates(16, 200, seed=7, failstop_rate=0.02,
+                                 corruption_rate=0.1, straggler_rate=0.05)
+        b = FaultPlan.from_rates(16, 200, seed=7, failstop_rate=0.02,
+                                 corruption_rate=0.1, straggler_rate=0.05)
+        assert a == b
+        assert a.as_dict() == b.as_dict()
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.from_rates(16, 200, seed=1, corruption_rate=0.2)
+        b = FaultPlan.from_rates(16, 200, seed=2, corruption_rate=0.2)
+        assert a != b
+
+    def test_rates_scale_event_counts(self):
+        quiet = FaultPlan.from_rates(8, 400, seed=0, failstop_rate=0.01)
+        noisy = FaultPlan.from_rates(8, 400, seed=0, failstop_rate=0.2)
+        assert len(noisy.failstops) > len(quiet.failstops)
+
+    def test_slowdown_at_combines_by_max(self):
+        plan = FaultPlan(4, 10, stragglers=(
+            Straggler(rank=1, start=2, duration=3, factor=4.0),
+            Straggler(rank=1, start=3, duration=2, factor=8.0),
+        ))
+        assert plan.slowdown_at(0) is None
+        assert plan.slowdown_at(2)[1] == 4.0
+        assert plan.slowdown_at(3)[1] == 8.0  # overlapping: max wins
+        assert plan.slowdown_at(5) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rank"):
+            FaultPlan(4, 10, failstops=(FailStop(0, 9),))
+        with pytest.raises(ValueError, match="iteration"):
+            FaultPlan(4, 10, corruptions=(Corruption(12, 0),))
+        with pytest.raises(ValueError, match="phase"):
+            FaultPlan(4, 10, corruptions=(Corruption(0, 0, phase="gather"),))
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultPlan(4, 10, corruptions=(Corruption(0, 0, magnitude=0.0),))
+        with pytest.raises(ValueError, match="factor"):
+            FaultPlan(4, 10, stragglers=(Straggler(0, 0, factor=0.5),))
+
+
+# ---------------------------------------------------------------------------
+# finite-value validation (machine + ledger)
+# ---------------------------------------------------------------------------
+
+
+class TestFiniteValidation:
+    @pytest.mark.parametrize("field", ["alpha", "beta", "gamma_flop", "gamma_mem"])
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_machine_rejects_nonfinite(self, field, bad):
+        kwargs = dict(name="bad", alpha=1e-6, beta=1e-9,
+                      gamma_flop=1e-10, gamma_mem=1e-10)
+        kwargs[field] = bad
+        with pytest.raises(ValueError, match="finite"):
+            MachineModel(**kwargs)
+
+    def test_machine_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MachineModel(name="bad", alpha=-1e-6, beta=1e-9,
+                         gamma_flop=1e-10, gamma_mem=1e-10)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf])
+    def test_ledger_rejects_nonfinite_seconds(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            CostLedger().add("expand", bad)
+
+    def test_ledger_rejects_negative_seconds(self):
+        with pytest.raises(ValueError, match="negative"):
+            CostLedger().add("expand", -1.0)
+
+
+# ---------------------------------------------------------------------------
+# ABFT detection guarantees
+# ---------------------------------------------------------------------------
+
+
+class TestAbft:
+    @pytest.mark.parametrize("method", ["1d-block", "2d-block", "2d-random"])
+    def test_no_false_positives_on_clean_runs(self, small_rmat, method):
+        """A fault-free SpMV never trips the checksums, on any layout."""
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, method, 16), CAB)
+        eng = dist.engine
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.standard_normal(dist.n)
+            y, partials = eng.spmv_with_partials(x)
+            assert not eng.abft_check(x, partials, y).detected
+
+    def test_no_false_positives_adversarial_scales(self, small_powerlaw):
+        """Still clean with badly scaled inputs (reassociation stress)."""
+        dist = DistSparseMatrix(
+            small_powerlaw, layout_for(small_powerlaw, "2d-block", 9), CAB
+        )
+        eng = dist.engine
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(dist.n) * np.logspace(-8, 8, dist.n)
+        y, partials = eng.spmv_with_partials(x)
+        assert not eng.abft_check(x, partials, y).detected
+
+    @pytest.mark.parametrize("phase", ["expand", "compute", "fold"])
+    def test_injected_corruption_above_threshold_is_flagged(self, small_rmat, phase):
+        """Every injection whose checksum effect exceeds the noise bound
+        must be detected — the ABFT guarantee, verified against executed
+        numerics rather than assumed."""
+        p = 16
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "2d-block", p), CAB)
+        plan = FaultPlan(
+            nprocs=p, iterations=8, seed=3,
+            corruptions=tuple(
+                Corruption(t, (3 * t) % p, phase=phase) for t in range(8)
+            ),
+        )
+        res = run_with_faults(dist, plan)
+        assert len(res.injections) == 8
+        flagged_above = [i for i in res.injections if i.effect > i.threshold]
+        assert flagged_above, "injections should land above the noise bound"
+        for inj in flagged_above:
+            assert inj.detected, (
+                f"undetected corruption at iter {inj.iteration} rank {inj.rank} "
+                f"({inj.phase}): effect {inj.effect:.3e} > thr {inj.threshold:.3e}"
+            )
+
+    def test_detection_triggers_recover_charge(self, small_rmat):
+        p = 8
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "2d-block", p), CAB)
+        plan = FaultPlan(p, 4, corruptions=(Corruption(1, 2, "compute"),))
+        res = run_with_faults(dist, plan)
+        if any(i.detected for i in res.injections):
+            assert res.ledger.get("recover") > 0.0
+
+    def test_abft_cost_charged_every_iteration(self, small_grid):
+        dist = DistSparseMatrix(small_grid, layout_for(small_grid, "2d-block", 4), CAB)
+        plan = FaultPlan(4, 20)
+        res = run_with_faults(dist, plan)
+        per_iter = abft_detect_seconds(dist)
+        assert per_iter > 0.0
+        assert res.ledger.get("detect") == pytest.approx(20 * per_iter)
+        off = run_with_faults(dist, plan, FaultConfig(abft=False))
+        assert off.ledger.get("detect") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# stragglers
+# ---------------------------------------------------------------------------
+
+
+class TestStragglers:
+    def test_straggler_stretches_modeled_time(self, small_rmat):
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "1d-block", 8), CAB)
+        quiet = FaultPlan(8, 10)
+        slow = FaultPlan(8, 10, stragglers=(Straggler(0, 0, duration=10, factor=8.0),))
+        cfg = FaultConfig(abft=False, checkpoint_interval=0)
+        t_quiet = run_with_faults(dist, quiet, cfg).total_seconds
+        t_slow = run_with_faults(dist, slow, cfg).total_seconds
+        assert t_slow > t_quiet
+        # the whole window is stretched, so the gap is substantial
+        assert t_slow > 1.5 * t_quiet
+
+
+# ---------------------------------------------------------------------------
+# fail-stop recovery
+# ---------------------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_spare_restore_words_are_exact(self, small_rmat):
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "2d-block", 16), CAB)
+        f = 5
+        rs = recovery_stats(dist, f, "spare")
+        expected = 3 * dist.local_blocks[f].nnz + 2 * len(
+            dist.vector_map.indices_of(f)
+        )
+        assert rs.restore_words == expected
+        assert rs.resync_words > 0
+        assert rs.modeled_seconds > 0.0
+
+    def test_spare_peers_match_plan_peer_set(self, small_rmat):
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "2d-block", 16), CAB)
+        for f in range(16):
+            assert recovery_stats(dist, f, "spare").peers == recovery_peers(dist, f)
+
+    def test_2d_recovery_bounded_1d_gp_not(self, small_rmat):
+        """The acceptance claim at p=64: 2D layouts recover through at most
+        pr + pc - 2 peers; 1D-GP of a scale-free graph does not."""
+        p, pr, pc = 64, 8, 8
+        bound = pr + pc - 2
+        for method in ("2d-block", "2d-random"):
+            dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, method, p), CAB)
+            assert max_recovery_peers(dist) <= bound
+            worst = max(
+                recovery_stats(dist, f, "spare").peers for f in range(p)
+            )
+            assert worst <= bound
+        dist1d = DistSparseMatrix(small_rmat, layout_for(small_rmat, "1d-gp", p), CAB)
+        assert max_recovery_peers(dist1d) > bound
+
+    def test_redistribute_spreads_over_survivors(self, small_rmat):
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "1d-block", 8), CAB)
+        rs = recovery_stats(dist, 2, "redistribute")
+        assert rs.peers > 0
+        assert rs.restore_words == recovery_stats(dist, 2, "spare").restore_words
+        with pytest.raises(ValueError, match="survivor"):
+            one = DistSparseMatrix(small_rmat, layout_for(small_rmat, "1d-block", 1), CAB)
+            recovery_stats(one, 0, "redistribute")
+
+    def test_failstop_charges_detect_and_recover(self, small_rmat):
+        p = 8
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "2d-block", p), CAB)
+        plan = FaultPlan(p, 10, failstops=(FailStop(7, 3),))
+        res = run_with_faults(dist, plan, FaultConfig(checkpoint_interval=4))
+        assert res.ledger.get("detect") > 0.0
+        assert res.ledger.get("recover") > 0.0
+        assert res.ledger.get("checkpoint") > 0.0
+        (event,) = [e for e in res.ledger.events if e.kind == "fail-stop"]
+        assert event.rank == 3 and event.detected and event.seconds > 0.0
+
+    def test_checkpoint_interval_bounds_rollback(self, small_rmat):
+        """A failure right after a checkpoint replays less work than one
+        far from it — the interval is what bounds the lost-work term."""
+        p = 8
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "2d-block", p), CAB)
+        near = FaultPlan(p, 20, failstops=(FailStop(10, 0),))  # 0 lost iters
+        far = FaultPlan(p, 20, failstops=(FailStop(19, 0),))  # 9 lost iters
+        cfg = FaultConfig(checkpoint_interval=10)
+        t_near = run_with_faults(dist, near, cfg).ledger.get("recover")
+        t_far = run_with_faults(dist, far, cfg).ledger.get("recover")
+        assert t_far > t_near
+
+    def test_checkpoint_write_cost_positive(self, small_grid):
+        dist = DistSparseMatrix(small_grid, layout_for(small_grid, "1d-block", 4), CAB)
+        assert checkpoint_write_seconds(dist) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# campaigns
+# ---------------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_campaign_is_bit_reproducible(self, small_rmat):
+        p = 16
+        layouts = [layout_for(small_rmat, m, p) for m in ("1d-block", "2d-block")]
+        plan = FaultPlan.from_rates(p, 30, seed=11, failstop_rate=0.05,
+                                    corruption_rate=0.1, straggler_rate=0.05)
+        a = fault_campaign(small_rmat, layouts, plan)
+        b = fault_campaign(small_rmat, layouts, plan)
+        assert a == b  # dataclass equality: every float bit-identical
+
+    def test_run_is_bit_reproducible(self, small_rmat):
+        dist = DistSparseMatrix(small_rmat, layout_for(small_rmat, "2d-block", 16), CAB)
+        plan = FaultPlan.from_rates(16, 25, seed=4, failstop_rate=0.08,
+                                    corruption_rate=0.2)
+        a = run_with_faults(dist, plan)
+        b = run_with_faults(dist, plan)
+        assert a.total_seconds == b.total_seconds
+        assert a.injections == b.injections
+        assert a.ledger.events == b.ledger.events
+        assert a.ledger.breakdown() == b.ledger.breakdown()
+
+    def test_plan_rank_count_must_match(self, small_grid):
+        dist = DistSparseMatrix(small_grid, layout_for(small_grid, "1d-block", 4), CAB)
+        with pytest.raises(ValueError, match="ranks"):
+            run_with_faults(dist, FaultPlan(8, 5))
+
+    def test_clean_campaign_overhead_is_detection_and_checkpoint_only(self, small_grid):
+        layouts = [layout_for(small_grid, "2d-block", 4)]
+        (cell,) = fault_campaign(small_grid, layouts, FaultPlan(4, 20))
+        assert cell.faults == 0
+        assert cell.recover_seconds == 0.0
+        assert cell.total_seconds == pytest.approx(
+            cell.clean_seconds + cell.detect_seconds + cell.checkpoint_seconds
+        )
