@@ -1,0 +1,172 @@
+"""Serial vs process-pool partitioning of the corpus, with bit-identity.
+
+The partitioner is the dominant host-side cost of every sweep in this
+repo (one serial pass over the ten-matrix corpus at p=64 is ~7 minutes,
+two thirds of it a single matrix, rmat_26). This bench times that pass
+serially — the reference ``partition_matrix`` loop, exactly what a cold
+``regress generate`` pays — and then through
+:func:`repro.parallel.parallel_partition_sweep` at ``--jobs`` workers,
+and records both in ``BENCH_partition.json`` at the repo root.
+
+Two guarantees gate the exit code:
+
+* **bit-identity** — the parallel part vector of every corpus matrix
+  must equal its serial reference exactly (``"bit_identical": true``);
+* **schedule speedup** — replaying the recorded task DAG (per-task CPU
+  seconds measured inside the workers) on ``jobs`` virtual workers must
+  beat one virtual worker by ``--min-speedup``.
+
+Wall-clock is always reported, but the ``speedup`` field switches basis
+by host: on a machine with at least ``jobs`` cores it is measured wall
+over wall; on a starved host (CI containers pinned to one core, where
+more processes cannot make anything faster) it is the schedule replay,
+declared via ``speedup_basis``/``host_cpus`` so the JSON never
+overclaims. The replay uses CPU seconds, which time-slicing does not
+inflate, so both bases describe the same schedule.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_partition_parallel.py [--smoke]
+
+``--smoke`` shrinks to the two smallest corpus matrices at p=16 for CI
+sanity runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_partition.json"
+
+
+def run(smoke: bool, jobs: int, min_speedup: float) -> tuple[list[str], dict]:
+    from repro.generators.corpus import CORPUS, load_corpus_matrix
+    from repro.parallel import parallel_partition_sweep, schedule_makespan
+    from repro.partitioning import partition_matrix
+
+    if smoke:
+        names, nparts = ["bter", "rmat_22"], 16
+    else:
+        names, nparts = list(CORPUS), 64
+    specs = [
+        (name, load_corpus_matrix(name), CORPUS[name].partitioner, nparts)
+        for name in names
+    ]
+
+    # serial reference pass: the exact loop every consumer of
+    # partition_matrix pays today, timed per matrix
+    serial_parts: dict[str, np.ndarray] = {}
+    serial_matrix_seconds: dict[str, float] = {}
+    t_serial0 = time.perf_counter()
+    for name, A, kind, k in specs:
+        t0 = time.perf_counter()
+        serial_parts[name] = partition_matrix(A, k, method=kind).part
+        serial_matrix_seconds[name] = time.perf_counter() - t0
+    serial_wall = time.perf_counter() - t_serial0
+
+    # parallel pass over one shared pool, recording the task DAG
+    trace: list[dict] = []
+    t0 = time.perf_counter()
+    parallel_parts = parallel_partition_sweep(specs, jobs=jobs, trace=trace)
+    parallel_wall = time.perf_counter() - t0
+
+    failures: list[str] = []
+    per_matrix = {}
+    all_identical = True
+    for name, _, kind, k in specs:
+        identical = bool(np.array_equal(serial_parts[name], parallel_parts[name]))
+        all_identical &= identical
+        per_matrix[name] = {
+            "partitioner": kind,
+            "nparts": k,
+            "serial_seconds": round(serial_matrix_seconds[name], 3),
+            "bit_identical": identical,
+        }
+        if not identical:
+            diff = int((serial_parts[name] != parallel_parts[name]).sum())
+            failures.append(
+                f"{name}: parallel rpart differs from serial in {diff} of "
+                f"{len(serial_parts[name])} entries — scheduling leaked into results"
+            )
+
+    # replay the recorded DAG: same tasks, same dependencies, k virtual
+    # workers — host-independent because durations are worker CPU seconds
+    makespan_1 = schedule_makespan(trace, 1)
+    makespan_j = schedule_makespan(trace, jobs)
+    schedule_speedup = makespan_1 / makespan_j if makespan_j > 0 else float("nan")
+
+    host_cpus = os.cpu_count() or 1
+    if host_cpus >= jobs:
+        speedup, basis = serial_wall / max(parallel_wall, 1e-9), "wall_clock"
+    else:
+        speedup, basis = schedule_speedup, "schedule_replay"
+    if not np.isfinite(speedup) or speedup < min_speedup:
+        failures.append(
+            f"speedup {speedup:.2f}x ({basis}) below the {min_speedup:.1f}x floor "
+            f"at jobs={jobs} (serial {serial_wall:.1f}s, parallel wall "
+            f"{parallel_wall:.1f}s, makespan {makespan_1:.1f}s -> {makespan_j:.1f}s)"
+        )
+
+    payload = {
+        "bench": "partition_parallel",
+        "smoke": smoke,
+        "jobs": jobs,
+        "nparts": nparts,
+        "host_cpus": host_cpus,
+        "matrices": per_matrix,
+        "bit_identical": all_identical,
+        "serial_wall_seconds": round(serial_wall, 3),
+        "parallel_wall_seconds": round(parallel_wall, 3),
+        "trace_tasks": len(trace),
+        "trace_cpu_seconds": round(sum(t["cpu"] for t in trace), 3),
+        "schedule_makespan_1": round(makespan_1, 3),
+        f"schedule_makespan_{jobs}": round(makespan_j, 3),
+        "schedule_speedup": round(schedule_speedup, 3),
+        "speedup": round(float(speedup), 3),
+        "speedup_basis": basis,
+        "min_speedup": min_speedup,
+        "ok": not failures,
+    }
+    return failures, payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="two smallest matrices at p=16 (CI sanity run)")
+    ap.add_argument("--jobs", type=int, default=4,
+                    help="pool workers for the parallel pass (default: 4)")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="schedule-speedup floor that gates the exit code")
+    args = ap.parse_args(argv)
+
+    failures, payload = run(args.smoke, args.jobs, args.min_speedup)
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(f"partition sweep: {len(payload['matrices'])} matrices at p={payload['nparts']}")
+    print(f"  serial wall      {payload['serial_wall_seconds']:.1f}s")
+    print(f"  parallel wall    {payload['parallel_wall_seconds']:.1f}s "
+          f"(jobs={args.jobs}, host has {payload['host_cpus']} cpu(s))")
+    print(f"  schedule replay  {payload['schedule_makespan_1']:.1f}s -> "
+          f"{payload[f'schedule_makespan_{args.jobs}']:.1f}s over {payload['trace_tasks']} tasks")
+    print(f"  speedup          {payload['speedup']:.2f}x ({payload['speedup_basis']})")
+    print(f"  bit identical    {payload['bit_identical']}")
+    print(f"wrote {OUT_PATH.relative_to(REPO_ROOT)}")
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ from .harness import (
     PAPER_TO_PROXY_PROCS,
     PROXY_PROCS,
     SpmvRecord,
+    atomic_save_npy,
     cached_rpart,
     default_cache_dir,
     gp_or_hp,
@@ -23,6 +24,7 @@ __all__ = [
     "PAPER_TO_PROXY_PROCS",
     "PROXY_PROCS",
     "SpmvRecord",
+    "atomic_save_npy",
     "cached_rpart",
     "default_cache_dir",
     "gp_or_hp",

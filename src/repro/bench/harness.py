@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 
 import numpy as np
@@ -38,6 +39,7 @@ __all__ = [
     "PROXY_PROCS",
     "SpmvRecord",
     "default_cache_dir",
+    "atomic_save_npy",
     "cached_rpart",
     "layout_for",
     "run_spmv_cell",
@@ -52,12 +54,51 @@ PAPER_TO_PROXY_PROCS = {64: 4, 256: 16, 1024: 64, 4096: 256, 16384: 1024}
 PROXY_PROCS = (4, 16, 64, 256)
 
 
-def default_cache_dir() -> Path:
-    """Partition cache location (override with $REPRO_CACHE_DIR)."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    base = Path(env) if env else Path.home() / ".cache" / "repro-partitions"
+@lru_cache(maxsize=None)
+def _ensure_cache_dir(base: Path) -> Path:
     base.mkdir(parents=True, exist_ok=True)
     return base
+
+
+def default_cache_dir() -> Path:
+    """Partition cache location (override with $REPRO_CACHE_DIR).
+
+    The environment variable is re-read on every call (tests and CLI
+    subprocesses point it at scratch space), but the mkdir happens once
+    per distinct directory per process.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(env) if env else Path.home() / ".cache" / "repro-partitions"
+    return _ensure_cache_dir(base)
+
+
+def atomic_save_npy(path: Path, arr: np.ndarray) -> None:
+    """Write an .npy file atomically (tmp file + ``os.replace``).
+
+    Concurrent writers of the same key each write a distinct pid-suffixed
+    tmp file and race only on the atomic rename, so readers can never
+    observe a torn file. ``np.save`` gets an open handle because it
+    appends ``.npy`` to bare path names.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as f:
+            np.save(f, arr)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _load_cached_part(path: Path, n: int) -> np.ndarray | None:
+    """Double-checked cache read: any unreadable/stale file is a miss."""
+    try:
+        part = np.load(path)
+    except (OSError, ValueError, EOFError):
+        return None
+    if part.ndim != 1 or len(part) != n:
+        return None
+    return part.astype(np.int64)
 
 
 def _matrix_hash(A) -> str:
@@ -75,6 +116,8 @@ def cached_rpart(
     seed: int = 0,
     cache_dir: Path | None = None,
     nested_from: int | None = None,
+    jobs: int | None = None,
+    executor=None,
 ) -> np.ndarray:
     """Partition with on-disk caching; optionally derive from a finer one.
 
@@ -82,9 +125,17 @@ def cached_rpart(
     partition at that finer count — hitting its cache entry — and coarsen
     by the RB nesting property, which is how the scaling benches amortise
     one partitioner run over a whole sweep.
+
+    The cache is safe under concurrent writers: entries land via atomic
+    rename and reads treat torn or stale files as misses. ``jobs``/
+    ``executor`` parallelise a cache-miss partitioner run
+    (:mod:`repro.parallel`) without changing the cached bits.
     """
     if nested_from is not None and nested_from != nparts:
-        fine = cached_rpart(A, kind, nested_from, seed=seed, cache_dir=cache_dir)
+        fine = cached_rpart(
+            A, kind, nested_from, seed=seed, cache_dir=cache_dir,
+            jobs=jobs, executor=executor,
+        )
         part = derive_nested_partition(fine, nested_from, nparts)
         # the RB tree balanced each level to its own tolerance; grouping
         # leaves compounds those errors (and hub granularity at the fine
@@ -101,11 +152,13 @@ def cached_rpart(
     key = f"{_matrix_hash(A)}_{kind}_k{nparts}_s{seed}.npy"
     path = cache_dir / key
     if path.exists():
-        part = np.load(path)
-        if len(part) == A.shape[0]:
-            return part.astype(np.int64)
-    part = partition_matrix(A, nparts, method=kind, seed=seed).part
-    np.save(path, part)
+        part = _load_cached_part(path, A.shape[0])
+        if part is not None:
+            return part
+    part = partition_matrix(
+        A, nparts, method=kind, seed=seed, jobs=jobs, executor=executor
+    ).part
+    atomic_save_npy(path, part)
     return part
 
 
@@ -194,6 +247,39 @@ def run_spmv_cell(
     )
 
 
+def _spmv_cell_task(args: tuple) -> SpmvRecord:
+    """One (matrix, method, p) cell — the ``repro spmv`` CLI fan-out unit.
+
+    Concurrent methods may race to create the same cached rpart on a cold
+    cache; the atomic writer makes that a benign duplicated computation,
+    never a torn read.
+    """
+    A, name, method, p, seed, cache_dir = args
+    return run_spmv_cell(A, name, method, p, seed=seed, cache_dir=cache_dir)
+
+
+def _matrix_grid_task(args: tuple) -> list[SpmvRecord]:
+    """One matrix's full (p x method) grid column — the spmv_grid fan-out
+    unit. Module-level so it pickles into pool workers; each worker reuses
+    the shared partition cache (one deep rpart per method serves every p
+    via nesting), so concurrent columns do not repeat partitioner work.
+    """
+    name, A, methods, procs, machine, seed, cache_dir, nested = args
+    A = as_csr(A)
+    records: list[SpmvRecord] = []
+    pmax = max(procs)
+    for p in procs:
+        for method in methods:
+            nested_from = pmax if (nested and p != pmax) else None
+            records.append(
+                run_spmv_cell(
+                    A, name, method, p, machine=machine, seed=seed,
+                    cache_dir=cache_dir, nested_from=nested_from,
+                )
+            )
+    return records
+
+
 def spmv_grid(
     matrices: dict[str, object] | list[str],
     methods: list[str],
@@ -202,21 +288,25 @@ def spmv_grid(
     seed: int = 0,
     cache_dir: Path | None = None,
     nested: bool = True,
+    jobs: int | None = None,
 ) -> list[SpmvRecord]:
-    """Run the full sweep; matrices may be corpus names or name->matrix."""
+    """Run the full sweep; matrices may be corpus names or name->matrix.
+
+    ``jobs`` fans matrices across a process pool (cells within a matrix
+    share cached partitions, so the matrix is the natural grain). Record
+    order and contents are identical to the serial sweep.
+    """
     if isinstance(matrices, list):
         matrices = {name: load_corpus_matrix(name) for name in matrices}
-    records: list[SpmvRecord] = []
-    pmax = max(procs)
-    for name, A in matrices.items():
-        A = as_csr(A)
-        for p in procs:
-            for method in methods:
-                nested_from = pmax if (nested and p != pmax) else None
-                records.append(
-                    run_spmv_cell(
-                        A, name, method, p, machine=machine, seed=seed,
-                        cache_dir=cache_dir, nested_from=nested_from,
-                    )
-                )
-    return records
+    if jobs is not None and cache_dir is None:
+        # workers must agree on one cache directory even if the pool was
+        # forked before the caller exported $REPRO_CACHE_DIR
+        cache_dir = default_cache_dir()
+    tasks = [
+        (name, as_csr(A), methods, procs, machine, seed, cache_dir, nested)
+        for name, A in matrices.items()
+    ]
+    from ..parallel import parallel_map
+
+    per_matrix = parallel_map(_matrix_grid_task, tasks, jobs=jobs)
+    return [rec for column in per_matrix for rec in column]

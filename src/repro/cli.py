@@ -28,6 +28,12 @@ Every subcommand that uses randomness (partitioning, fault schedules,
 solver start vectors) takes the same ``--seed`` flag; one seed makes the
 whole pipeline — plans, injections, detection verdicts, modeled seconds —
 bit-reproducible.
+
+Heavy subcommands additionally share a ``--jobs N`` flag that fans
+independent work (RB subtrees, sweep cells, campaign layouts) across a
+process pool (:mod:`repro.parallel`). Output is bit-identical to a serial
+run at any job count — parallelism is an execution detail, never a result
+parameter.
 """
 
 from __future__ import annotations
@@ -88,7 +94,9 @@ def _cmd_partition(args) -> int:
     from .partitioning import partition_matrix
 
     A = _load(args.matrix)
-    res = partition_matrix(A, args.nparts, method=args.method, seed=args.seed)
+    res = partition_matrix(
+        A, args.nparts, method=args.method, seed=args.seed, jobs=args.jobs
+    )
     print(f"method     {res.method}")
     print(f"parts      {res.nparts}")
     print(f"cut        {res.edgecut:.0f}")
@@ -100,13 +108,18 @@ def _cmd_partition(args) -> int:
 
 
 def _cmd_spmv(args) -> int:
-    from .bench.harness import run_spmv_cell
+    from .bench.harness import _spmv_cell_task, default_cache_dir
     from .bench.reporting import format_table
+    from .parallel import parallel_map
 
     A = _load(args.matrix)
+    cache_dir = default_cache_dir()
+    tasks = [
+        (A, args.matrix, method, args.procs, args.seed, cache_dir)
+        for method in args.methods
+    ]
     rows = []
-    for method in args.methods:
-        rec = run_spmv_cell(A, args.matrix, method, args.procs, seed=args.seed)
+    for rec in parallel_map(_spmv_cell_task, tasks, jobs=args.jobs):
         rows.append((rec.method, f"{rec.stats.nnz_imbalance:.2f}",
                      rec.stats.max_messages, rec.stats.total_comm_volume,
                      f"{rec.time100:.4f}"))
@@ -171,7 +184,7 @@ def _cmd_regress(args) -> int:
     cache_dir = Path(args.cache_dir) if args.cache_dir else None
     if args.action == "generate":
         paths = generate_goldens(
-            spec, golden_dir, cache_dir=cache_dir, progress=print
+            spec, golden_dir, cache_dir=cache_dir, progress=print, jobs=args.jobs
         )
         print(f"wrote {len(paths)} golden file(s) under {golden_dir}")
         return 0
@@ -188,7 +201,8 @@ def _cmd_regress(args) -> int:
         return 3
 
     mismatches, ncells = check_goldens(
-        spec, golden_dir, cache_dir=cache_dir, rtol=args.rtol, progress=print
+        spec, golden_dir, cache_dir=cache_dir, rtol=args.rtol, progress=print,
+        jobs=args.jobs,
     )
     if not mismatches:
         print(
@@ -253,7 +267,7 @@ def _cmd_faults(args) -> int:
     layouts = [layout_for(A, mth, args.procs, seed=args.seed) for mth in args.methods]
     for rate in args.failstop_rates:
         plan = plan_for(rate)
-        cells = fault_campaign(A, layouts, plan, config=config)
+        cells = fault_campaign(A, layouts, plan, config=config, jobs=args.jobs)
         print(
             f"-- fail-stop rate {rate:g}/iter over {args.iterations} iterations "
             f"({plan.nevents} event(s), seed {args.seed})"
@@ -277,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 0; one seed makes the run bit-reproducible)",
     )
 
+    # one --jobs, shared by every heavy subcommand: results are
+    # bit-identical at any value, so it is safe to tune per machine
+    jobbed = argparse.ArgumentParser(add_help=False)
+    jobbed.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool workers for independent work (default: serial; "
+             "0 = all cores; output is identical at any job count)",
+    )
+
     sub.add_parser("corpus", help="list the proxy corpus").set_defaults(fn=_cmd_corpus)
 
     p = sub.add_parser("stats", help="matrix structural statistics")
@@ -284,7 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("partition", help="run the graph/hypergraph partitioner",
-                       parents=[seeded])
+                       parents=[seeded, jobbed])
     p.add_argument("matrix")
     p.add_argument("-k", "--nparts", type=int, required=True)
     p.add_argument("--method", choices=("gp", "hp", "gp-mc"), default="gp")
@@ -292,7 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_partition)
 
     default_methods = ["1d-block", "1d-random", "1d-gp", "2d-block", "2d-random", "2d-gp"]
-    p = sub.add_parser("spmv", help="compare SpMV data layouts", parents=[seeded])
+    p = sub.add_parser("spmv", help="compare SpMV data layouts",
+                       parents=[seeded, jobbed])
     p.add_argument("matrix")
     p.add_argument("-p", "--procs", type=int, default=64)
     p.add_argument("--methods", nargs="+", default=default_methods)
@@ -312,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         "regress", help="golden-invariant regression harness (see tests/golden/)"
     )
     rsub = p.add_subparsers(dest="action", required=True)
-    common = argparse.ArgumentParser(add_help=False, parents=[seeded])
+    common = argparse.ArgumentParser(add_help=False, parents=[seeded, jobbed])
     common.add_argument("--golden-dir", default="tests/golden",
                         help="golden tree location (default: tests/golden)")
     common.add_argument("--matrices", nargs="+",
@@ -360,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--failstop-rate", type=float, default=0.02,
                    help="per-iteration fail-stop probability (default: 0.02)")
     f.set_defaults(fn=_cmd_faults)
-    f = fsub.add_parser("campaign", parents=[fcommon],
+    f = fsub.add_parser("campaign", parents=[fcommon, jobbed],
                         help="sweep fail-stop rates across layouts")
     f.add_argument("--methods", nargs="+", default=default_methods)
     f.add_argument("--failstop-rates", nargs="+", type=float,

@@ -55,6 +55,8 @@ def partition_matrix(
     method: str = "gp",
     seed: int = 0,
     ub: float = 1.10,
+    jobs: int | None = None,
+    executor=None,
     **kwargs,
 ) -> PartitionResult:
     """Partition the rows/columns of square matrix *A* into *nparts* parts.
@@ -79,9 +81,13 @@ def partition_matrix(
         K-way imbalance tolerance (1.10 = 10%). Note that on scale-free
         graphs a single hub row can exceed the average part weight, in
         which case the realised imbalance is vertex-granularity-bound.
+    jobs, executor:
+        Fan the recursive-bisection tree across a process pool
+        (:mod:`repro.parallel`). ``jobs=None``/``1`` keeps the serial
+        reference path; results are bit-identical either way.
     kwargs:
         Forwarded to the bisection driver (``min_coarse``, ``n_initial``,
-        ``refine_passes``).
+        ``refine_passes``, ``seed_scheme``).
     """
     if method not in PARTITION_METHODS:
         if method == "hp-mc":
@@ -95,9 +101,18 @@ def partition_matrix(
     if nparts < 1:
         raise ValueError(f"nparts must be >= 1, got {nparts}")
 
+    parallel_rb = (jobs is not None and int(jobs) != 1) or executor is not None
+
     if method == "hp":
         hg = Hypergraph.from_matrix_column_net(A, vertex_weights="nnz")
-        part = hypergraph_recursive_bisection(hg, nparts, ub=ub, seed=seed, **kwargs)
+        if parallel_rb:
+            from ..parallel import parallel_hypergraph_recursive_bisection
+
+            part = parallel_hypergraph_recursive_bisection(
+                hg, nparts, ub=ub, seed=seed, jobs=jobs, executor=executor, **kwargs
+            )
+        else:
+            part = hypergraph_recursive_bisection(hg, nparts, ub=ub, seed=seed, **kwargs)
         # hypergraph FM controls the cut well but leaves more imbalance than
         # the graph path; reuse the k-way balance repair on the adjacency
         # structure (balance is a vertex-weight property, not a cut-model
@@ -115,6 +130,13 @@ def partition_matrix(
 
     weights = ("unit", "nnz") if method == "gp-mc" else "nnz"
     g = PartGraph.from_matrix(A, vertex_weights=weights)
-    part = recursive_bisection(g, nparts, ub=ub, seed=seed, **kwargs)
+    if parallel_rb:
+        from ..parallel import parallel_recursive_bisection
+
+        part = parallel_recursive_bisection(
+            g, nparts, ub=ub, seed=seed, jobs=jobs, executor=executor, **kwargs
+        )
+    else:
+        part = recursive_bisection(g, nparts, ub=ub, seed=seed, **kwargs)
     imb = tuple(float(x) for x in g.imbalance(part, nparts))
     return PartitionResult(part, nparts, method, seed, g.edgecut(part), imb)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ._util import check_part_vector
+from ._util import check_part_vector, child_seeds
 from .hcoarsen import hcoarsen_to
 from .hrefine import fm_refine_hypergraph, hg_balance_allowance
 from .hypergraph import Hypergraph
@@ -108,6 +108,7 @@ def hypergraph_recursive_bisection(
     nparts: int,
     ub: float = 1.05,
     seed: int = 0,
+    seed_scheme: str = "legacy",
     **bisect_kwargs,
 ) -> np.ndarray:
     """K-way hypergraph partition via recursive bisection."""
@@ -121,8 +122,25 @@ def hypergraph_recursive_bisection(
     # root-level ideal part weight: splits below target multiples of it so
     # imbalance does not compound down the recursion (see kway._rb)
     ideal = hg.total_weight()[0] / nparts
-    _rb(hg, np.arange(hg.n, dtype=np.int64), 0, nparts, part, ub_level, ideal, seed, bisect_kwargs)
+    _rb(hg, np.arange(hg.n, dtype=np.int64), 0, nparts, part, ub_level, ideal, seed,
+        bisect_kwargs, seed_scheme)
     return check_part_vector(part, hg.n, nparts)
+
+
+def _split(
+    hg: Hypergraph, k: int, ub: float, ideal: float, seed, kwargs: dict
+) -> tuple[np.ndarray, int]:
+    """One hypergraph RB node; pure function of its arguments (see kway._split)."""
+    k0 = k // 2
+    total = hg.total_weight()[0]
+    frac0 = float(np.clip(k0 * ideal / max(total, 1e-300), 0.05, 0.95))
+    bis = multilevel_hypergraph_bisect(hg, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs)
+    if (bis == 0).sum() == 0 or (bis == 1).sum() == 0:
+        order = np.argsort(-hg.vwgt[:, 0], kind="stable")
+        nleft = max(1, min(hg.n - 1, int(round(hg.n * frac0))))
+        bis = np.ones(hg.n, dtype=np.int64)
+        bis[order[:nleft]] = 0
+    return bis, k0
 
 
 def _rb(
@@ -133,21 +151,15 @@ def _rb(
     part: np.ndarray,
     ub: float,
     ideal: float,
-    seed: int,
+    seed,
     kwargs: dict,
+    seed_scheme: str = "legacy",
 ) -> None:
     if k == 1 or len(vertices) == 0:
         part[vertices] = lo
         return
-    k0 = k // 2
-    total = hg.total_weight()[0]
-    frac0 = float(np.clip(k0 * ideal / max(total, 1e-300), 0.05, 0.95))
-    bis = multilevel_hypergraph_bisect(hg, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs)
-    if (bis == 0).sum() == 0 or (bis == 1).sum() == 0:
-        order = np.argsort(-hg.vwgt[:, 0], kind="stable")
-        nleft = max(1, min(hg.n - 1, int(round(hg.n * frac0))))
-        bis = np.ones(hg.n, dtype=np.int64)
-        bis[order[:nleft]] = 0
+    bis, k0 = _split(hg, k, ub, ideal, seed, kwargs)
+    s_left, s_right = child_seeds(seed, seed_scheme)
     sel0, sel1 = np.flatnonzero(bis == 0), np.flatnonzero(bis == 1)
-    _rb(hg.induced(sel0), vertices[sel0], lo, k0, part, ub, ideal, seed * 2 + 1, kwargs)
-    _rb(hg.induced(sel1), vertices[sel1], lo + k0, k - k0, part, ub, ideal, seed * 2 + 2, kwargs)
+    _rb(hg.induced(sel0), vertices[sel0], lo, k0, part, ub, ideal, s_left, kwargs, seed_scheme)
+    _rb(hg.induced(sel1), vertices[sel1], lo + k0, k - k0, part, ub, ideal, s_right, kwargs, seed_scheme)

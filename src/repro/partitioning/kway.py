@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from ._util import check_part_vector
+from ._util import check_part_vector, child_seeds
 from .bisect import multilevel_bisect
 from .partgraph import PartGraph
 
@@ -35,13 +35,16 @@ def recursive_bisection(
     nparts: int,
     ub: float = 1.05,
     seed: int = 0,
+    seed_scheme: str = "legacy",
     **bisect_kwargs,
 ) -> np.ndarray:
     """Partition *g* into *nparts* parts; returns the part vector.
 
     The per-level imbalance tolerance is ``ub ** (1/ceil(log2 k))`` so the
     *compounded* k-way imbalance stays near ``ub`` (RB multiplies the
-    per-level slack down the tree).
+    per-level slack down the tree). ``seed_scheme`` picks how subtree
+    seeds derive from *seed* (see :func:`repro.partitioning._util.child_seeds`);
+    the default matches every historical partition and golden snapshot.
     """
     if nparts < 1:
         raise ValueError(f"nparts must be >= 1, got {nparts}")
@@ -50,9 +53,35 @@ def recursive_bisection(
         return part
     depth = int(np.ceil(np.log2(nparts)))
     ub_level = float(ub) ** (1.0 / depth)
-    _rb(g, np.arange(g.n, dtype=np.int64), 0, nparts, part, ub_level, seed, bisect_kwargs)
+    _rb(g, np.arange(g.n, dtype=np.int64), 0, nparts, part, ub_level, seed,
+        bisect_kwargs, seed_scheme)
     part = kway_balance_refine(g, part, nparts, ub=ub)
     return check_part_vector(part, g.n, nparts)
+
+
+def _split(g: PartGraph, k: int, ub: float, seed, kwargs: dict) -> tuple[np.ndarray, int]:
+    """One RB node: bisect *g* (k0 : k-k0)-proportionally.
+
+    Returns the 0/1 side vector and k0. This is the unit of work the
+    process-pool driver (:mod:`repro.parallel`) ships to workers, so it
+    must stay a pure function of its arguments.
+    """
+    k0 = k // 2
+    # proportional target: excess weight inherited from upper levels is
+    # spread across both subtrees rather than pushed into one part
+    # (targeting multiples of a root-level ideal instead concentrates all
+    # the accumulated excess in the last part — measurably worse)
+    frac0 = k0 / k
+    bis = multilevel_bisect(g, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs)
+    # degenerate split (can happen on tiny/star graphs): fall back to a
+    # proportional split of the weight-sorted vertex list so every part id
+    # stays populated
+    if (bis == 0).sum() == 0 or (bis == 1).sum() == 0:
+        order = np.argsort(-g.vwgt[:, 0], kind="stable")
+        nleft = max(1, min(g.n - 1, int(round(g.n * frac0))))
+        bis = np.ones(g.n, dtype=np.int64)
+        bis[order[:nleft]] = 0
+    return bis, k0
 
 
 def _rb(
@@ -62,35 +91,19 @@ def _rb(
     k: int,
     part: np.ndarray,
     ub: float,
-    seed: int,
+    seed,
     kwargs: dict,
+    seed_scheme: str = "legacy",
 ) -> None:
     if k == 1 or len(vertices) == 0:
         part[vertices] = lo
         return
-    k0 = k // 2
-    # proportional target: excess weight inherited from upper levels is
-    # spread across both subtrees rather than pushed into one part
-    # (targeting multiples of a root-level ideal instead concentrates all
-    # the accumulated excess in the last part — measurably worse)
-    frac0 = k0 / k
-    bis = multilevel_bisect(g, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs)
-    left = vertices[bis == 0]
-    right = vertices[bis == 1]
-    # degenerate split (can happen on tiny/star graphs): fall back to a
-    # proportional split of the weight-sorted vertex list so every part id
-    # stays populated
-    if len(left) == 0 or len(right) == 0:
-        order = np.argsort(-g.vwgt[:, 0], kind="stable")
-        nleft = max(1, min(g.n - 1, int(round(g.n * frac0))))
-        bis = np.ones(g.n, dtype=np.int64)
-        bis[order[:nleft]] = 0
-        left = vertices[bis == 0]
-        right = vertices[bis == 1]
+    bis, k0 = _split(g, k, ub, seed, kwargs)
+    s_left, s_right = child_seeds(seed, seed_scheme)
     g_left = g.induced_subgraph(np.flatnonzero(bis == 0))
     g_right = g.induced_subgraph(np.flatnonzero(bis == 1))
-    _rb(g_left, left, lo, k0, part, ub, seed * 2 + 1, kwargs)
-    _rb(g_right, right, lo + k0, k - k0, part, ub, seed * 2 + 2, kwargs)
+    _rb(g_left, vertices[bis == 0], lo, k0, part, ub, s_left, kwargs, seed_scheme)
+    _rb(g_right, vertices[bis == 1], lo + k0, k - k0, part, ub, s_right, kwargs, seed_scheme)
 
 
 def kway_balance_refine(
@@ -138,6 +151,9 @@ def kway_balance_refine(
             (np.ones(g.n), (np.arange(g.n), part)), shape=(g.n, nparts)
         )
         C = (W @ onehot).tocsr()  # C[v, t] = edge weight from v into part t
+        # the apply loop below reads C through raw CSR arrays (a scipy
+        # row extraction per candidate vertex dominated this whole pass)
+        indptr, cind, cdat = C.indptr, C.indices, C.data
         moved_any = False
         for s in over:
             cand = np.flatnonzero(part == s)
@@ -150,23 +166,43 @@ def kway_balance_refine(
             # e.g. shedding thousands of leaf rows when moving a few hub
             # rows would fix an nnz overage.)
             cstar = int(np.argmax(pw[s] / allow))
-            internal = np.asarray(C[cand, s].todense()).ravel()
+            # batched gather of C[cand, s]: flatten the candidate rows once
+            # and pick out the column-s entries (rows without one keep 0)
+            starts, ends = indptr[cand], indptr[cand + 1]
+            counts = ends - starts
+            flat = (
+                np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+                + np.arange(counts.sum())
+            )
+            rows_rep = np.repeat(np.arange(len(cand)), counts)
+            hit = cind[flat] == s
+            internal = np.zeros(len(cand))
+            internal[rows_rep[hit]] = cdat[flat[hit]]
             order = cand[np.argsort(internal / np.maximum(g.vwgt[cand, cstar], 1e-12))]
             for v in order.tolist():
                 if not (pw[s] > allow + 1e-9).any():
                     break  # s is balanced now
-                row = C[v]
-                targets = row.indices[row.indices != s]
-                gains = row.data[row.indices != s]
+                sl = slice(indptr[v], indptr[v + 1])
+                keep = cind[sl] != s
+                targets = cind[sl][keep]
+                gains = cdat[sl][keep]
+                w = g.vwgt[v]
                 # consider neighbour parts by descending attraction, then —
                 # as teleport fallbacks — the parts with the most headroom
                 # on their *worst* constraint (a part minimal on one
                 # constraint may be pinned at the cap of another)
+                moved = False
+                for t in targets[np.argsort(-gains)]:
+                    if (pw[t] + w <= allow + 1e-9).all():
+                        part[v] = t
+                        pw[s] -= w
+                        pw[t] += w
+                        moved_any = moved = True
+                        break
+                if moved:
+                    continue
                 headroom = (pw / allow[None, :]).max(axis=1)
-                fallback = np.argsort(headroom)[:3].tolist()
-                cand_t = list(targets[np.argsort(-gains)]) + fallback
-                w = g.vwgt[v]
-                for t in cand_t:
+                for t in np.argsort(headroom)[:3].tolist():
                     if t == s:
                         continue
                     if (pw[t] + w <= allow + 1e-9).all():

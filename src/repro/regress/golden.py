@@ -188,17 +188,52 @@ def _resolve(matrices: dict | None, name: str):
     return load_corpus_matrix(name)
 
 
+def _matrix_cells_task(args: tuple) -> dict:
+    """Recompute one matrix's grid cells — the regress fan-out unit.
+
+    Module-level so it pickles into pool workers. The matrix itself ships
+    in the args when the caller supplied one (tests); corpus matrices are
+    regenerated worker-side from the name, which is cheaper than pickling
+    them across. Cell computation is pure; all golden-file reads/writes
+    stay in the parent.
+    """
+    name, A, spec, cache_dir = args
+    if A is None:
+        A = load_corpus_matrix(name)
+    return compute_matrix_cells(A, spec, name, cache_dir)
+
+
+def _all_matrix_cells(
+    spec: GridSpec,
+    cache_dir: Path | None,
+    matrices: dict | None,
+    jobs: int | None,
+) -> list[dict]:
+    tasks = [
+        (name, matrices.get(name) if matrices is not None else None, spec, cache_dir)
+        for name in spec.matrices
+    ]
+    from ..parallel import parallel_map
+
+    return parallel_map(_matrix_cells_task, tasks, jobs=jobs)
+
+
 def generate_goldens(
     spec: GridSpec,
     golden_dir: Path = DEFAULT_GOLDEN_DIR,
     cache_dir: Path | None = None,
     matrices: dict | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int | None = None,
 ) -> list[Path]:
-    """Recompute the grid and (over)write one golden file per matrix."""
+    """Recompute the grid and (over)write one golden file per matrix.
+
+    ``jobs`` fans the per-matrix recomputation across a process pool;
+    the emitted files are byte-identical to a serial run.
+    """
     paths = []
-    for i, name in enumerate(spec.matrices, 1):
-        cells = compute_matrix_cells(_resolve(matrices, name), spec, name, cache_dir)
+    all_cells = _all_matrix_cells(spec, cache_dir, matrices, jobs)
+    for i, (name, cells) in enumerate(zip(spec.matrices, all_cells), 1):
         paths.append(write_golden(golden_dir, name, golden_payload(name, spec, cells)))
         if progress is not None:
             progress(f"[{i}/{len(spec.matrices)}] {name}: wrote {len(cells)} cells")
@@ -212,13 +247,18 @@ def check_goldens(
     matrices: dict | None = None,
     rtol: float = DEFAULT_RTOL,
     progress: Callable[[str], None] | None = None,
+    jobs: int | None = None,
 ) -> tuple[list[Mismatch], int]:
-    """Check the whole grid. Returns (mismatches, cells checked)."""
+    """Check the whole grid. Returns (mismatches, cells checked).
+
+    ``jobs`` parallelises the recomputation only; comparison against the
+    goldens is cheap and stays in the parent, in matrix order.
+    """
     mismatches: list[Mismatch] = []
     ncells = 0
     total = len(spec.matrices)
-    for i, name in enumerate(spec.matrices, 1):
-        cells = compute_matrix_cells(_resolve(matrices, name), spec, name, cache_dir)
+    all_cells = _all_matrix_cells(spec, cache_dir, matrices, jobs)
+    for i, (name, cells) in enumerate(zip(spec.matrices, all_cells), 1):
         ncells += len(cells)
         found = compare_matrix(name, load_golden(golden_dir, name), cells, spec, rtol)
         mismatches.extend(found)

@@ -811,12 +811,43 @@ CAMPAIGN_COLUMNS = [
 ]
 
 
+def _campaign_cell_task(args: tuple) -> CampaignCell:
+    """One layout's campaign replay — the ``fault_campaign`` fan-out unit.
+
+    Module-level so it pickles into pool workers; every input (matrix,
+    layout, plan, machine, config) is a plain dataclass or array, and the
+    replay is deterministic, so where it runs cannot change the cell.
+    """
+    from .distmatrix import DistSparseMatrix
+
+    A, layout, plan, machine, config = args
+    dist = DistSparseMatrix(A, layout, machine)
+    res = run_with_faults(dist, plan, config=config)
+    bd = res.ledger.breakdown()
+    events = [e for e in res.ledger.events if e.kind != "straggler"]
+    return CampaignCell(
+        layout=res.layout,
+        nprocs=res.nprocs,
+        clean_seconds=res.clean_seconds,
+        total_seconds=res.total_seconds,
+        overhead=res.overhead,
+        detect_seconds=bd.get("detect", 0.0),
+        checkpoint_seconds=bd.get("checkpoint", 0.0),
+        recover_seconds=bd.get("recover", 0.0),
+        faults=len(events),
+        detected=sum(1 for e in events if e.detected),
+        max_recovery_peers=res.max_recovery_peers,
+        recovery_words=sum(r.restore_words + r.resync_words for r in res.recoveries),
+    )
+
+
 def fault_campaign(
     A,
     layouts,
     plan: FaultPlan,
     machine: MachineModel | None = None,
     config: FaultConfig | None = None,
+    jobs: int | None = None,
 ) -> list[CampaignCell]:
     """Replay one :class:`FaultPlan` against several layouts of *A*.
 
@@ -824,30 +855,12 @@ def fault_campaign(
     with ``plan.nprocs`` ranks — the plan speaks in rank ids). Returns one
     :class:`CampaignCell` per layout; because the schedule, the injected
     values, and the cost model are all deterministic, two calls with the
-    same arguments produce identical cells, bit for bit.
+    same arguments produce identical cells, bit for bit — including under
+    ``jobs`` > 1, which fans the layouts across a process pool.
     """
-    from .distmatrix import DistSparseMatrix
+    from ..parallel import parallel_map
     from .machine import CAB
 
     machine = machine if machine is not None else CAB
-    cells: list[CampaignCell] = []
-    for layout in layouts:
-        dist = DistSparseMatrix(A, layout, machine)
-        res = run_with_faults(dist, plan, config=config)
-        bd = res.ledger.breakdown()
-        events = [e for e in res.ledger.events if e.kind != "straggler"]
-        cells.append(CampaignCell(
-            layout=res.layout,
-            nprocs=res.nprocs,
-            clean_seconds=res.clean_seconds,
-            total_seconds=res.total_seconds,
-            overhead=res.overhead,
-            detect_seconds=bd.get("detect", 0.0),
-            checkpoint_seconds=bd.get("checkpoint", 0.0),
-            recover_seconds=bd.get("recover", 0.0),
-            faults=len(events),
-            detected=sum(1 for e in events if e.detected),
-            max_recovery_peers=res.max_recovery_peers,
-            recovery_words=sum(r.restore_words + r.resync_words for r in res.recoveries),
-        ))
-    return cells
+    tasks = [(A, layout, plan, machine, config) for layout in layouts]
+    return parallel_map(_campaign_cell_task, tasks, jobs=jobs)
