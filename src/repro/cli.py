@@ -91,16 +91,27 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_partition(args) -> int:
+    from . import perf
     from .partitioning import partition_matrix
 
     A = _load(args.matrix)
-    res = partition_matrix(
-        A, args.nparts, method=args.method, seed=args.seed, jobs=args.jobs
-    )
+    if args.profile:
+        with perf.profile() as prof:
+            res = partition_matrix(
+                A, args.nparts, method=args.method, seed=args.seed, jobs=args.jobs
+            )
+    else:
+        prof = None
+        res = partition_matrix(
+            A, args.nparts, method=args.method, seed=args.seed, jobs=args.jobs
+        )
     print(f"method     {res.method}")
     print(f"parts      {res.nparts}")
     print(f"cut        {res.edgecut:.0f}")
     print(f"imbalance  {', '.join(f'{x:.3f}' for x in res.imbalance)}")
+    if prof is not None:
+        print()
+        print(prof.report())
     if args.output:
         np.save(args.output, res.part)
         print(f"saved rpart to {args.output}")
@@ -312,6 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", "--nparts", type=int, required=True)
     p.add_argument("--method", choices=("gp", "hp", "gp-mc"), default="gp")
     p.add_argument("-o", "--output", help="save the part vector as .npy")
+    p.add_argument("--profile", action="store_true",
+                   help="print a phase-time breakdown (coarsen/initial/refine/project)")
     p.set_defaults(fn=_cmd_partition)
 
     default_methods = ["1d-block", "1d-random", "1d-gp", "2d-block", "2d-random", "2d-gp"]

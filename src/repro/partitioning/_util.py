@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["segment_argmax", "segment_sum", "check_part_vector", "child_seeds"]
+__all__ = [
+    "segment_argmax",
+    "segment_sum",
+    "gather_slices",
+    "check_part_vector",
+    "child_seeds",
+]
 
 #: Seed-derivation schemes for the recursive-bisection tree.
 SEED_SCHEMES = ("legacy", "spawn")
@@ -70,6 +76,24 @@ def segment_sum(values: np.ndarray, xadj: np.ndarray) -> np.ndarray:
         seg = np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj))
         np.add.at(out, seg, values)
     return out
+
+
+def gather_slices(indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Concatenate CSR slices ``indices[indptr[r]:indptr[r+1]]`` for *rows*.
+
+    Pure-numpy equivalent of ``np.concatenate([indices[indptr[r]:indptr[r+1]]
+    for r in rows])`` — the output keeps row order, then in-slice order, with
+    duplicates preserved. This is the frontier-expansion gather of the
+    vectorised BFS region growers.
+    """
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    offs = np.cumsum(counts) - counts
+    rel = np.arange(total, dtype=np.int64) - np.repeat(offs, counts)
+    return indices[np.repeat(starts, counts) + rel]
 
 
 def check_part_vector(part: np.ndarray, n: int, nparts: int) -> np.ndarray:

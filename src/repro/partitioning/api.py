@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import perf
 from .hkway import hypergraph_recursive_bisection
 from .hypergraph import Hypergraph
 from .kway import kway_balance_refine, recursive_bisection
@@ -104,7 +105,8 @@ def partition_matrix(
     parallel_rb = (jobs is not None and int(jobs) != 1) or executor is not None
 
     if method == "hp":
-        hg = Hypergraph.from_matrix_column_net(A, vertex_weights="nnz")
+        with perf.phase("build-graph"):
+            hg = Hypergraph.from_matrix_column_net(A, vertex_weights="nnz")
         if parallel_rb:
             from ..parallel import parallel_hypergraph_recursive_bisection
 
@@ -123,13 +125,17 @@ def partition_matrix(
         # the partition (the production tools this emulates do not exhibit
         # that pathology at their operating scale)
         g_bal = PartGraph.from_matrix(A, vertex_weights=("unit", "nnz"))
-        part = kway_balance_refine(g_bal, part, nparts, ub=np.array([1.15, max(ub, 1.25)]))
+        with perf.phase("balance-repair"):
+            part = kway_balance_refine(
+                g_bal, part, nparts, ub=np.array([1.15, max(ub, 1.25)])
+            )
         cut = hg.cut_connectivity_minus_one(part, nparts)
         imb = tuple(float(x) for x in g_bal.imbalance(part, nparts))  # (rows, nnz)
         return PartitionResult(part, nparts, method, seed, float(cut), imb)
 
     weights = ("unit", "nnz") if method == "gp-mc" else "nnz"
-    g = PartGraph.from_matrix(A, vertex_weights=weights)
+    with perf.phase("build-graph"):
+        g = PartGraph.from_matrix(A, vertex_weights=weights)
     if parallel_rb:
         from ..parallel import parallel_recursive_bisection
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import perf
 from .coarsen import coarsen_to
 from .initial import greedy_graph_growing, random_bisection, spectral_bisection
 from .partgraph import PartGraph
@@ -61,27 +62,31 @@ def multilevel_bisect(
         return np.zeros(1, dtype=np.int64)
     rng = np.random.default_rng(seed)
 
-    levels = coarsen_to(g, min_coarse, rng)
+    with perf.phase("coarsen"):
+        levels = coarsen_to(g, min_coarse, rng)
     gc = levels[-1][0]
     allow_c = balance_allowance(gc, target_fracs, ub)
 
     # --- initial partitions on the coarsest graph ---
-    candidates: list[np.ndarray] = []
-    for _ in range(n_initial):
-        candidates.append(greedy_graph_growing(gc, target_fracs[0], rng))
-    spec = spectral_bisection(gc, target_fracs[0])
-    if spec is not None:
-        candidates.append(spec)
-    candidates.append(random_bisection(gc, target_fracs[0], rng))
+    with perf.phase("initial"):
+        candidates: list[np.ndarray] = []
+        for _ in range(n_initial):
+            candidates.append(greedy_graph_growing(gc, target_fracs[0], rng))
+        spec = spectral_bisection(gc, target_fracs[0])
+        if spec is not None:
+            candidates.append(spec)
+        candidates.append(random_bisection(gc, target_fracs[0], rng))
 
-    refined = [
-        fm_refine(gc, p, target_fracs, ub, passes=refine_passes, rng=rng)
-        for p in candidates
-    ]
-    part = min(refined, key=lambda p: _score(gc, p, allow_c))
+        refined = [
+            fm_refine(gc, p, target_fracs, ub, passes=refine_passes, rng=rng)
+            for p in candidates
+        ]
+        part = min(refined, key=lambda p: _score(gc, p, allow_c))
 
     # --- uncoarsen with refinement at each level ---
     for (g_fine, _), (_, cmap) in zip(reversed(levels[:-1]), reversed(levels[1:])):
-        part = part[cmap]  # project coarse part onto the finer level
-        part = fm_refine(g_fine, part, target_fracs, ub, passes=refine_passes, rng=rng)
+        with perf.phase("project"):
+            part = part[cmap]  # project coarse part onto the finer level
+        with perf.phase("refine"):
+            part = fm_refine(g_fine, part, target_fracs, ub, passes=refine_passes, rng=rng)
     return part

@@ -40,7 +40,7 @@ def handshake_matching(
     match = np.arange(n, dtype=np.int64)
     if g.xadj[-1] == 0:
         return match
-    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.xadj))
+    src = g.edge_sources()
     # random tiebreak jitter keeps the matching from degenerating on
     # unweighted graphs where every edge weight is 1
     jitter = rng.random(len(g.adjncy)) * 1e-6
@@ -142,8 +142,11 @@ def contract(g: PartGraph, match: np.ndarray) -> tuple[PartGraph, np.ndarray]:
     Wc.eliminate_zeros()
     Wc.sort_indices()
 
-    vwgt_c = np.zeros((nc, g.ncon))
-    np.add.at(vwgt_c, cmap, g.vwgt)
+    # histogram per constraint: np.bincount sums in vertex order, exactly
+    # like the former np.add.at accumulation, but several times faster
+    vwgt_c = np.empty((nc, g.ncon))
+    for c in range(g.ncon):
+        vwgt_c[:, c] = np.bincount(cmap, weights=g.vwgt[:, c], minlength=nc)
     return PartGraph(Wc.indptr, Wc.indices, Wc.data, vwgt_c), cmap
 
 

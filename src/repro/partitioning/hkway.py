@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ._util import check_part_vector, child_seeds
+from .. import perf
+from ._util import check_part_vector, child_seeds, gather_slices
 from .hcoarsen import hcoarsen_to
 from .hrefine import fm_refine_hypergraph, hg_balance_allowance
 from .hypergraph import Hypergraph
@@ -22,33 +23,51 @@ __all__ = ["multilevel_hypergraph_bisect", "hypergraph_recursive_bisection"]
 def _greedy_net_growing(
     hg: Hypergraph, target_frac: float, rng: np.random.Generator
 ) -> np.ndarray:
-    """Grow part 0 by net-BFS from a random seed until the target weight."""
+    """Grow part 0 by net-BFS from a random seed until the target weight.
+
+    Level-synchronous numpy replay of the former per-pin deque loop (same
+    argument as :func:`repro.partitioning.initial.greedy_graph_growing`):
+    the frontier expands through two CSR gathers — vertex to incident nets,
+    nets to pins, duplicates preserved exactly as the nested loops visited
+    them — then first-discovery dedupe; the weight target only truncates
+    the prefix of the visit order, and ``np.cumsum`` reproduces the scalar
+    ``grown +=`` accumulation bit for bit.
+    """
     n = hg.n
     part = np.ones(n, dtype=np.int64)
     target = hg.total_weight()[0] * target_frac
-    grown = 0.0
+    if n == 0 or not 0.0 < target:
+        return part
     visited = np.zeros(n, dtype=bool)
     order = rng.permutation(n)
+    H = hg.H
+    HT = hg.transpose_incidence()
+    bfs = np.empty(n, dtype=np.int64)
+    pos = 0
     oi = 0
-    from collections import deque
-
-    queue: deque[int] = deque()
-    while grown < target:
-        if not queue:
-            while oi < n and visited[order[oi]]:
-                oi += 1
-            if oi >= n:
+    while pos < n:
+        while oi < n and visited[order[oi]]:
+            oi += 1
+        if oi >= n:
+            break
+        frontier = np.asarray([order[oi]], dtype=np.int64)
+        visited[frontier] = True
+        while len(frontier):
+            bfs[pos : pos + len(frontier)] = frontier
+            pos += len(frontier)
+            nets = gather_slices(HT.indptr, HT.indices, frontier)
+            if len(nets) == 0:
                 break
-            queue.append(int(order[oi]))
-            visited[order[oi]] = True
-        v = queue.popleft()
-        part[v] = 0
-        grown += hg.vwgt[v, 0]
-        for e in hg.nets_of(v).tolist():
-            for u in hg.pins(e).tolist():
-                if not visited[u]:
-                    visited[u] = True
-                    queue.append(u)
+            cand = gather_slices(H.indptr, H.indices, nets.astype(np.int64))
+            cand = cand[~visited[cand]]
+            if len(cand) == 0:
+                break
+            _, first = np.unique(cand, return_index=True)
+            frontier = cand[np.sort(first)].astype(np.int64)
+            visited[frontier] = True
+    cum = np.cumsum(hg.vwgt[bfs[:pos], 0])
+    k = min(int(np.searchsorted(cum[:-1], target, side="left")) + 1, pos)
+    part[bfs[:k]] = 0
     return part
 
 
@@ -85,21 +104,27 @@ def multilevel_hypergraph_bisect(
     if hg.n == 1:
         return np.zeros(1, dtype=np.int64)
     rng = np.random.default_rng(seed)
-    levels = hcoarsen_to(hg, min_coarse, rng)
+    with perf.phase("coarsen"):
+        levels = hcoarsen_to(hg, min_coarse, rng)
     hgc = levels[-1][0]
     allow_c = hg_balance_allowance(hgc, target_fracs, ub)
 
-    candidates = [_greedy_net_growing(hgc, target_fracs[0], rng) for _ in range(n_initial)]
-    candidates.append(_random_bisection(hgc, target_fracs[0], rng))
-    refined = [
-        fm_refine_hypergraph(hgc, p, target_fracs, ub, passes=refine_passes, rng=rng)
-        for p in candidates
-    ]
-    part = min(refined, key=lambda p: _score(hgc, p, allow_c))
+    with perf.phase("initial"):
+        candidates = [_greedy_net_growing(hgc, target_fracs[0], rng) for _ in range(n_initial)]
+        candidates.append(_random_bisection(hgc, target_fracs[0], rng))
+        refined = [
+            fm_refine_hypergraph(hgc, p, target_fracs, ub, passes=refine_passes, rng=rng)
+            for p in candidates
+        ]
+        part = min(refined, key=lambda p: _score(hgc, p, allow_c))
 
     for (hg_fine, _), (_, cmap) in zip(reversed(levels[:-1]), reversed(levels[1:])):
-        part = part[cmap]
-        part = fm_refine_hypergraph(hg_fine, part, target_fracs, ub, passes=refine_passes, rng=rng)
+        with perf.phase("project"):
+            part = part[cmap]
+        with perf.phase("refine"):
+            part = fm_refine_hypergraph(
+                hg_fine, part, target_fracs, ub, passes=refine_passes, rng=rng
+            )
     return part
 
 
@@ -134,7 +159,10 @@ def _split(
     k0 = k // 2
     total = hg.total_weight()[0]
     frac0 = float(np.clip(k0 * ideal / max(total, 1e-300), 0.05, 0.95))
-    bis = multilevel_hypergraph_bisect(hg, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs)
+    with perf.phase("bisect"):
+        bis = multilevel_hypergraph_bisect(
+            hg, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs
+        )
     if (bis == 0).sum() == 0 or (bis == 1).sum() == 0:
         order = np.argsort(-hg.vwgt[:, 0], kind="stable")
         nleft = max(1, min(hg.n - 1, int(round(hg.n * frac0))))

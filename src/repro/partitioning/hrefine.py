@@ -11,6 +11,15 @@ The pass uses lazy heaps with recompute-on-pop: hypergraph gain updates
 have many threshold cases, and recomputing a popped vertex's gain from the
 current per-net pin counts (O(net-degree)) is both simpler and immune to
 update bugs. Stale entries are reinserted with their fresh gain.
+
+The batch paths — heap seeding and waking the pins of a threshold-crossing
+net — compute gains through :func:`_compute_gain_many`, which gathers every
+vertex's net slice into one concatenated fancy-indexed pass and then sums
+each vertex's contiguous slice with ``np.sum``. The slices have the same
+lengths and contents as the per-vertex arrays, so numpy applies the same
+pairwise-summation tree and the batched gains are bit-identical to the
+scalar ones (``np.add.reduceat`` would not be: it accumulates strictly left
+to right).
 """
 
 from __future__ import annotations
@@ -19,22 +28,15 @@ import heapq
 
 import numpy as np
 
+from ._util import gather_slices
 from .hypergraph import Hypergraph
-from .refine import is_balanced
+from .refine import balance_allowance, is_balanced
 
 __all__ = ["hg_balance_allowance", "fm_refine_hypergraph"]
 
-
-def hg_balance_allowance(
-    hg: Hypergraph, target_fracs: tuple[float, float], ub: float
-) -> np.ndarray:
-    """Side-weight allowance per (side, constraint), hub-widened."""
-    total = hg.total_weight()
-    vmax = hg.vwgt.max(axis=0) if hg.n else np.zeros(hg.ncon)
-    out = np.empty((2, hg.ncon))
-    for side, frac in enumerate(target_fracs):
-        out[side] = np.maximum(ub * frac * total, frac * total + vmax)
-    return out
+#: Alias of the shared (duck-typed) allowance helper in :mod:`.refine` —
+#: the graph and hypergraph refiners use the identical widening rule.
+hg_balance_allowance = balance_allowance
 
 
 def _violation(sw: np.ndarray, allow: np.ndarray) -> float:
@@ -61,16 +63,63 @@ def fm_refine_hypergraph(
     return part
 
 
-def _compute_gain(hg: Hypergraph, part: np.ndarray, counts: np.ndarray, v: int) -> float:
-    s = part[v]
-    nets = hg.nets_of(v)
-    w = hg.netwgt[nets]
+def _gain_from_nets(
+    netwgt: np.ndarray, counts: np.ndarray, nets: np.ndarray, s: int
+) -> float:
+    """Gain of moving a side-*s* vertex whose incident nets are *nets*."""
+    w = netwgt[nets]
     uncut = counts[nets, s] == 1  # v is the last pin on its side
     cut_new = counts[nets, 1 - s] == 0  # net currently entirely on v's side
     return float((w * uncut).sum() - (w * cut_new).sum())
 
 
+def _compute_gain(hg: Hypergraph, part: np.ndarray, counts: np.ndarray, v: int) -> float:
+    return _gain_from_nets(hg.netwgt, counts, hg.nets_of(v), int(part[v]))
+
+
+def _compute_gain_many(
+    hg: Hypergraph, part: np.ndarray, counts: np.ndarray, vs: np.ndarray
+) -> list[float]:
+    """Gains of every vertex in *vs*, bit-identical to :func:`_compute_gain`.
+
+    One concatenated gather replaces ``len(vs)`` per-vertex ``nets_of`` /
+    ``netwgt`` / ``counts`` fancy-indexing rounds; only the final per-vertex
+    reduction stays a loop, over contiguous slices (see the module notes on
+    why that reduction must be ``np.sum`` per slice).
+    """
+    vs = np.asarray(vs, dtype=np.int64)
+    if len(vs) == 0:
+        return []
+    HT = hg.transpose_incidence()
+    lengths = (HT.indptr[vs + 1] - HT.indptr[vs]).astype(np.int64)
+    nets = gather_slices(HT.indptr, HT.indices, vs)
+    w = hg.netwgt[nets]
+    s_rep = np.repeat(part[vs], lengths)
+    wu = w * (counts[nets, s_rep] == 1)
+    wc = w * (counts[nets, 1 - s_rep] == 0)
+    out: list[float] = []
+    lo = 0
+    for length in lengths.tolist():
+        hi = lo + length
+        out.append(float(wu[lo:hi].sum()) - float(wc[lo:hi].sum()))
+        lo = hi
+    return out
+
+
 def _pass(hg: Hypergraph, part: np.ndarray, allow: np.ndarray, hill_limit: int) -> bool:
+    """One FM pass over the hypergraph bisection; returns True if it moved.
+
+    Stale-entry counter semantics: a popped entry whose recorded gain no
+    longer matches the recomputed one is reinserted at the true gain with
+    a **fresh** counter value (the counter increments on every push,
+    reinserts included) — unlike the graph-FM kernels in
+    :mod:`~repro.partitioning.refine`, which reuse the current counter.
+    Either convention is deterministic: the counter sequence is a pure
+    function of the move history, so ``(-gain, counter, v)`` tuples give
+    the same total order on every run with the same inputs. What matters
+    for golden stability is only that each kernel keeps its own
+    convention fixed.
+    """
     nparts = 2
     counts = np.zeros((hg.nnets, nparts), dtype=np.int64)
     M = hg.net_part_counts(part, nparts).toarray().astype(np.int64)
@@ -79,27 +128,35 @@ def _pass(hg: Hypergraph, part: np.ndarray, allow: np.ndarray, hill_limit: int) 
     sw = np.zeros((2, hg.ncon))
     np.add.at(sw, part, hg.vwgt)
 
+    # cached net/pin slice bounds: the hot loop indexes the incidence CSR
+    # arrays directly instead of going through nets_of()/pins() accessors
+    HT = hg.transpose_incidence()
+    htp, hti = HT.indptr, HT.indices
+    hp, hi_ = hg.H.indptr, hg.H.indices
+    netwgt = hg.netwgt
+
     # boundary vertices: pins of cut nets
     cut_net_ids = np.flatnonzero((counts > 0).sum(axis=1) > 1)
     if len(cut_net_ids) == 0 and is_balanced(sw, allow):
         return False
     boundary = np.unique(hg.H[cut_net_ids].indices) if len(cut_net_ids) else np.arange(hg.n)
 
-    heap: list[tuple[float, int, int]] = []
-    ctr = 0
     in_heap = np.zeros(hg.n, dtype=bool)
 
-    def push(v: int, g: float) -> None:
-        nonlocal ctr
-        heapq.heappush(heap, (-g, ctr, v))
-        ctr += 1
-        in_heap[v] = True
-
-    for v in boundary.tolist():
-        push(v, _compute_gain(hg, part, counts, v))
+    # batched seeding: entry i of the boundary gets counter i, exactly the
+    # sequence the former per-vertex push loop produced, and a heapified
+    # list pops identically to a push-built heap (pop order is a function
+    # of heap *contents* only)
+    seed_gains = _compute_gain_many(hg, part, counts, boundary)
+    heap: list[tuple[float, int, int]] = [
+        (-g, i, v) for i, (g, v) in enumerate(zip(seed_gains, boundary.tolist()))
+    ]
+    heapq.heapify(heap)
+    ctr = len(heap)
+    in_heap[boundary] = True
 
     locked = np.zeros(hg.n, dtype=bool)
-    cur_cut = float((hg.netwgt * ((counts > 0).sum(axis=1) > 1)).sum())
+    cur_cut = float((netwgt * ((counts > 0).sum(axis=1) > 1)).sum())
     best_key = (_violation(sw, allow) > 1e-9, cur_cut)
     moves: list[int] = []
     best_prefix = 0
@@ -114,9 +171,10 @@ def _pass(hg: Hypergraph, part: np.ndarray, allow: np.ndarray, hill_limit: int) 
         negg, _, v = heapq.heappop(heap)
         if locked[v]:
             continue
-        g = _compute_gain(hg, part, counts, v)
+        g = _gain_from_nets(netwgt, counts, hti[htp[v] : htp[v + 1]], int(part[v]))
         if g != -negg:
-            push(v, g)  # stale: reinsert at the true gain
+            heapq.heappush(heap, (-g, ctr, v))  # stale: reinsert at the true gain
+            ctr += 1
             continue
         in_heap[v] = False
         s = int(part[v])
@@ -134,7 +192,7 @@ def _pass(hg: Hypergraph, part: np.ndarray, allow: np.ndarray, hill_limit: int) 
         locked[v] = True
         sw = new_sw
         cur_cut -= g
-        nets = hg.nets_of(v)
+        nets = hti[htp[v] : htp[v + 1]]
         counts[nets, s] -= 1
         counts[nets, 1 - s] += 1
         moves.append(v)
@@ -144,12 +202,21 @@ def _pass(hg: Hypergraph, part: np.ndarray, allow: np.ndarray, hill_limit: int) 
         # with hub nets — so we only scan a net when it crossed a gain
         # threshold: it just became cut (its pins just became boundary), or
         # one side is down to its last pin (that pin can now uncut the net).
+        # Each crossing net wakes its eligible pins as one batch, in pin
+        # order — the same vertices, gains and counter values the former
+        # per-pin loop produced (in_heap only changes through the pushes
+        # themselves, so the sequential filter equals the batch filter).
         for e in nets.tolist():
             ct, cs = counts[e, 1 - s], counts[e, s]
             if ct == 1 or cs <= 1:
-                for u in hg.pins(e).tolist():
-                    if not locked[u] and not in_heap[u]:
-                        push(u, _compute_gain(hg, part, counts, u))
+                pins_e = hi_[hp[e] : hp[e + 1]]
+                wake = pins_e[~(locked[pins_e] | in_heap[pins_e])]
+                if len(wake) == 0:
+                    continue
+                for u, gu in zip(wake.tolist(), _compute_gain_many(hg, part, counts, wake)):
+                    heapq.heappush(heap, (-gu, ctr, u))
+                    ctr += 1
+                in_heap[wake] = True
 
         key = (_violation(sw, allow) > 1e-9, cur_cut)
         if key < best_key:

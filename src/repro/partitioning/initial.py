@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ._util import gather_slices
 from .partgraph import PartGraph
 
 __all__ = ["greedy_graph_growing", "spectral_bisection", "random_bisection"]
@@ -23,33 +24,54 @@ def greedy_graph_growing(
     g: PartGraph, target_frac: float, rng: np.random.Generator
 ) -> np.ndarray:
     """Grow part 0 by BFS from a random seed until it holds ``target_frac``
-    of the total primary weight. Disconnected leftovers are seeded again."""
+    of the total primary weight. Disconnected leftovers are seeded again.
+
+    The BFS runs level-synchronously in numpy and replays the former
+    per-vertex deque loop exactly: FIFO order equals level order with
+    children gathered parent-by-parent in CSR neighbour order and
+    deduplicated by first discovery, and the visit order never depends on
+    the grown weight — the target only truncates the prefix. ``np.cumsum``
+    accumulates float64 left to right exactly like the scalar ``grown +=``
+    loop did, so the crossing vertex (and therefore the partition) is
+    bit-identical.
+    """
     n = g.n
     part = np.ones(n, dtype=np.int64)
     target = g.total_weight()[0] * target_frac
-    grown = 0.0
+    if n == 0 or not 0.0 < target:
+        return part
     visited = np.zeros(n, dtype=bool)
     order = rng.permutation(n)
+    xadj, adjncy = g.xadj, g.adjncy
+    bfs = np.empty(n, dtype=np.int64)
+    pos = 0
     oi = 0
-    from collections import deque
-
-    queue: deque[int] = deque()
-    while grown < target and oi <= n:
-        if not queue:
-            # (re)seed from the next unvisited vertex
-            while oi < n and visited[order[oi]]:
-                oi += 1
-            if oi >= n:
+    while pos < n:
+        # (re)seed from the next unvisited vertex in the random order
+        while oi < n and visited[order[oi]]:
+            oi += 1
+        if oi >= n:
+            break
+        frontier = np.asarray([order[oi]], dtype=np.int64)
+        visited[frontier] = True
+        while len(frontier):
+            bfs[pos : pos + len(frontier)] = frontier
+            pos += len(frontier)
+            # gather every neighbour slice of the frontier, in frontier
+            # order then CSR order — the order the deque appended them
+            cand = gather_slices(xadj, adjncy, frontier)
+            cand = cand[~visited[cand]]
+            if len(cand) == 0:
                 break
-            queue.append(int(order[oi]))
-            visited[order[oi]] = True
-        v = queue.popleft()
-        part[v] = 0
-        grown += g.vwgt[v, 0]
-        for u in g.neighbors(v):
-            if not visited[u]:
-                visited[u] = True
-                queue.append(int(u))
+            # first-discovery dedupe preserving order
+            _, first = np.unique(cand, return_index=True)
+            frontier = cand[np.sort(first)]
+            visited[frontier] = True
+    cum = np.cumsum(g.vwgt[bfs[:pos], 0])
+    # vertex i is grown while the weight before it is < target, so the
+    # grown prefix ends one past the last cumsum entry strictly below it
+    k = min(int(np.searchsorted(cum[:-1], target, side="left")) + 1, pos)
+    part[bfs[:k]] = 0
     return part
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from .. import perf
 from ._util import check_part_vector, child_seeds
 from .bisect import multilevel_bisect
 from .partgraph import PartGraph
@@ -55,7 +56,8 @@ def recursive_bisection(
     ub_level = float(ub) ** (1.0 / depth)
     _rb(g, np.arange(g.n, dtype=np.int64), 0, nparts, part, ub_level, seed,
         bisect_kwargs, seed_scheme)
-    part = kway_balance_refine(g, part, nparts, ub=ub)
+    with perf.phase("balance-repair"):
+        part = kway_balance_refine(g, part, nparts, ub=ub)
     return check_part_vector(part, g.n, nparts)
 
 
@@ -72,7 +74,8 @@ def _split(g: PartGraph, k: int, ub: float, seed, kwargs: dict) -> tuple[np.ndar
     # (targeting multiples of a root-level ideal instead concentrates all
     # the accumulated excess in the last part — measurably worse)
     frac0 = k0 / k
-    bis = multilevel_bisect(g, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs)
+    with perf.phase("bisect"):
+        bis = multilevel_bisect(g, (frac0, 1.0 - frac0), ub=ub, seed=seed, **kwargs)
     # degenerate split (can happen on tiny/star graphs): fall back to a
     # proportional split of the weight-sorted vertex list so every part id
     # stays populated

@@ -40,6 +40,14 @@ class TestCli:
         assert part.max() == 3
         assert "imbalance" in capsys.readouterr().out
 
+    def test_partition_profile_prints_phase_table(self, mtx_file, capsys):
+        assert main(["partition", mtx_file, "-k", "4", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "imbalance" in out  # normal output still present
+        for phase in ("coarsen", "initial", "refine", "bisect"):
+            assert phase in out
+        assert "seconds" in out and "calls" in out
+
     def test_spmv_comparison(self, mtx_file, capsys):
         assert main([
             "spmv", mtx_file, "-p", "4", "--methods", "1d-block", "2d-random",

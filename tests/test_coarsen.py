@@ -6,6 +6,7 @@ from repro.generators import grid2d, rmat
 from repro.graphs import from_edges
 from repro.partitioning import PartGraph
 from repro.partitioning.coarsen import (
+    _two_hop_matching,
     coarsen_level,
     coarsen_to,
     contract,
@@ -57,6 +58,63 @@ class TestHandshakeMatching:
         assert np.array_equal(m1, m2)
 
 
+class TestTwoHopMatching:
+    def _run(self, g, max_vertex_weight=None):
+        """Drive _two_hop_matching with every vertex still unmatched."""
+        match = np.arange(g.n, dtype=np.int64)
+        unmatched = np.ones(g.n, dtype=bool)
+        jitter = np.zeros(len(g.adjncy))
+        _two_hop_matching(g, match, unmatched, jitter, max_vertex_weight)
+        _check_matching(g, match)
+        return match, unmatched
+
+    def test_isolated_vertices_pair_on_sentinel_anchor(self):
+        """Edgeless vertices share anchor -1 and are merged with each other."""
+        import scipy.sparse as sp
+
+        A = sp.block_diag(
+            [grid2d(2, 2), sp.csr_matrix((4, 4))], format="csr"
+        )  # vertices 4..7 are isolated
+        g = PartGraph.from_matrix(A, "unit")
+        match, unmatched = self._run(g)
+        isolated = np.arange(4, 8)
+        # all isolated vertices got paired, and only with each other
+        assert not unmatched[isolated].any()
+        assert (match[isolated] != isolated).all()
+        assert set(match[isolated]) <= set(isolated)
+
+    def test_odd_anchor_group_leaves_one_unmatched(self):
+        """A 3-leaf hub group pairs floor(3/2) couples; one leaf stays."""
+        g = _star(3)
+        match = np.arange(g.n, dtype=np.int64)
+        unmatched = np.ones(g.n, dtype=bool)
+        unmatched[0] = False  # hub already matched elsewhere
+        match_before = match.copy()
+        jitter = np.zeros(len(g.adjncy))
+        _two_hop_matching(g, match, unmatched, jitter, None)
+        _check_matching(g, match)
+        leaves = np.arange(1, 4)
+        assert unmatched[leaves].sum() == 1  # odd one out
+        assert (match != match_before).sum() == 2  # exactly one new pair
+        assert not unmatched[0]  # hub flag untouched
+
+    def test_max_vertex_weight_rejects_heavy_pairs(self):
+        g = _star(4)  # leaves have unit weight -> combined weight 2
+        _, unmatched_capped = self._run(g, max_vertex_weight=np.array([1.5]))
+        assert unmatched_capped.all()  # cap below any pair: nothing matches
+        _, unmatched_free = self._run(g, max_vertex_weight=np.array([2.5]))
+        assert not unmatched_free.all()  # with room, leaf pairs form
+
+    def test_fewer_than_two_unmatched_is_noop(self):
+        g = _star(2)
+        match = np.arange(g.n, dtype=np.int64)
+        unmatched = np.zeros(g.n, dtype=bool)
+        unmatched[1] = True  # a single leftover vertex
+        _two_hop_matching(g, match, unmatched, np.zeros(len(g.adjncy)), None)
+        assert (match == np.arange(g.n)).all()
+        assert unmatched[1]
+
+
 class TestContract:
     def test_preserves_total_vertex_weight(self, rng, small_rmat):
         g = PartGraph.from_matrix(small_rmat, "nnz")
@@ -84,6 +142,15 @@ class TestContract:
         pair_c = cmap[1]
         W = gc.adjacency_matrix()
         assert W[hub_c, pair_c] == 2.0
+
+    def test_vertex_weights_match_add_at(self, rng, small_rmat):
+        """The bincount aggregation is bit-identical to np.add.at."""
+        g = PartGraph.from_matrix(small_rmat, ("unit", "nnz"))
+        match = handshake_matching(g, rng)
+        gc, cmap = contract(g, match)
+        expect = np.zeros((gc.n, g.ncon))
+        np.add.at(expect, cmap, g.vwgt)
+        assert np.array_equal(gc.vwgt, expect)
 
 
 class TestCoarsenTo:

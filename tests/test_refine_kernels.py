@@ -1,0 +1,335 @@
+"""Tests for the vectorised refinement kernels and the phase profiler.
+
+The vector FM kernel, the batched hypergraph gain computation and the
+vectorised BFS region growers all claim *bit identity* with the scalar
+reference implementations they replaced — these tests hold them to it on
+scale-free, mesh and degenerate (star, edgeless, disconnected) inputs.
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import perf
+from repro.generators import grid2d, rmat
+from repro.graphs import from_edges
+from repro.partitioning import PartGraph
+from repro.partitioning._util import gather_slices
+from repro.partitioning.hkway import _greedy_net_growing
+from repro.partitioning.hrefine import (
+    _compute_gain,
+    _compute_gain_many,
+    fm_refine_hypergraph,
+    hg_balance_allowance,
+)
+from repro.partitioning.hypergraph import Hypergraph
+from repro.partitioning.initial import greedy_graph_growing, random_bisection
+from repro.partitioning.refine import (
+    FM_KERNELS,
+    balance_allowance,
+    fm_refine,
+    use_kernel,
+)
+
+
+def _star(nleaves: int, vw="nnz") -> PartGraph:
+    r = np.zeros(nleaves, dtype=np.int64)
+    c = np.arange(1, nleaves + 1, dtype=np.int64)
+    A = from_edges(r, c, (nleaves + 1, nleaves + 1), symmetrize=True)
+    return PartGraph.from_matrix(A, vw)
+
+
+class TestKernelIdentity:
+    """vector and reference FM kernels replay the same move sequence."""
+
+    @pytest.mark.parametrize("vw", ["nnz", ("unit", "nnz")])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rmat_bit_identical(self, small_rmat, vw, seed):
+        g = PartGraph.from_matrix(small_rmat, vertex_weights=vw)
+        part0 = (np.random.default_rng(seed).random(g.n) < 0.5).astype(np.int64)
+        a = fm_refine(g, part0, kernel="vector")
+        b = fm_refine(g, part0, kernel="reference")
+        assert np.array_equal(a, b)
+
+    def test_grid_uneven_targets(self, small_grid):
+        g = PartGraph.from_matrix(small_grid, "unit")
+        part0 = (np.arange(g.n) % 2).astype(np.int64)
+        a = fm_refine(g, part0, (0.4, 0.6), 1.02, kernel="vector")
+        b = fm_refine(g, part0, (0.4, 0.6), 1.02, kernel="reference")
+        assert np.array_equal(a, b)
+
+    def test_star_hub_path(self):
+        """A 200-leaf hub exercises the fancy-indexed hub update tier."""
+        g = _star(200)
+        part0 = (np.arange(g.n) % 2).astype(np.int64)
+        a = fm_refine(g, part0, kernel="vector")
+        b = fm_refine(g, part0, kernel="reference")
+        assert np.array_equal(a, b)
+
+    def test_use_kernel_switches_default(self, small_grid):
+        g = PartGraph.from_matrix(small_grid, "unit")
+        part0 = (np.arange(g.n) % 2).astype(np.int64)
+        with use_kernel("reference"):
+            a = fm_refine(g, part0)
+        b = fm_refine(g, part0)  # default (vector) restored on exit
+        assert np.array_equal(a, b)
+
+    def test_use_kernel_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown FM kernel"):
+            with use_kernel("simd"):
+                pass
+        with pytest.raises(ValueError, match="unknown FM kernel"):
+            fm_refine(_star(4), np.zeros(5, dtype=np.int64), kernel="simd")
+
+    def test_kernel_registry(self):
+        assert FM_KERNELS == ("vector", "reference")
+
+
+class TestFMRollback:
+    """Hill climbing must roll every speculative move back when no prefix
+    improves the (balance, cut) key."""
+
+    @pytest.mark.parametrize("kernel", ["vector", "reference"])
+    def test_optimal_cycle_bisection_unchanged(self, kernel):
+        # even cycle split into two arcs: the 2-edge cut is optimal and
+        # balanced, so the pass climbs hills and rolls everything back
+        n = 40
+        i = np.arange(n)
+        A = from_edges(i, (i + 1) % n, (n, n), symmetrize=True)
+        g = PartGraph.from_matrix(A, "unit")
+        part0 = (i >= n // 2).astype(np.int64)
+        refined = fm_refine(g, part0, passes=3, hill_limit=16, kernel=kernel)
+        assert np.array_equal(refined, part0)
+
+    @pytest.mark.parametrize("kernel", ["vector", "reference"])
+    def test_rollback_restores_partial_prefix(self, kernel):
+        # interleaved grid columns: many improving moves exist, the pass
+        # keeps climbing past the optimum and must rewind to the best
+        # prefix — the result may never be worse than the input on the
+        # (balanced, cut) order
+        g = PartGraph.from_matrix(grid2d(12, 12), "unit")
+        part0 = (np.arange(g.n) % 2).astype(np.int64)
+        allow = balance_allowance(g, (0.5, 0.5), 1.05)
+        refined = fm_refine(g, part0, passes=1, hill_limit=64, kernel=kernel)
+        sw = np.zeros((2, g.ncon))
+        np.add.at(sw, refined, g.vwgt)
+        assert (sw <= allow + 1e-9).all()
+        assert g.edgecut(refined) < g.edgecut(part0)
+
+
+class TestBalanceAllowanceShared:
+    def test_hypergraph_alias(self, small_rmat):
+        """hg_balance_allowance is the shared duck-typed helper."""
+        assert hg_balance_allowance is balance_allowance
+        hg = Hypergraph.from_matrix_column_net(small_rmat, "nnz")
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        a = balance_allowance(hg, (0.4, 0.6), 1.03)
+        assert a.shape == (2, 1)
+        # same rule on both structures: widened by the heaviest vertex
+        assert np.array_equal(
+            balance_allowance(g, (0.5, 0.5), 1.05),
+            np.maximum(
+                1.05 * 0.5 * g.total_weight(),
+                0.5 * g.total_weight() + g.vwgt.max(axis=0),
+            )[None, :].repeat(2, axis=0),
+        )
+
+
+class TestGatherSlices:
+    def test_matches_concatenate(self, small_rmat):
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        rows = np.array([5, 0, 17, 5, 3], dtype=np.int64)  # dup + unordered
+        expect = np.concatenate(
+            [g.adjncy[g.xadj[r] : g.xadj[r + 1]] for r in rows]
+        )
+        assert np.array_equal(gather_slices(g.xadj, g.adjncy, rows), expect)
+
+    def test_empty_rows(self):
+        indptr = np.array([0, 0, 2, 2], dtype=np.int64)
+        indices = np.array([7, 9], dtype=np.int64)
+        out = gather_slices(indptr, indices, np.array([0, 2], dtype=np.int64))
+        assert len(out) == 0
+        out = gather_slices(indptr, indices, np.array([0, 1, 2], dtype=np.int64))
+        assert np.array_equal(out, [7, 9])
+
+
+def _deque_graph_growing(g, target_frac, rng):
+    """The former scalar implementation, kept as the test oracle."""
+    n = g.n
+    part = np.ones(n, dtype=np.int64)
+    target = g.total_weight()[0] * target_frac
+    grown = 0.0
+    visited = np.zeros(n, dtype=bool)
+    order = rng.permutation(n)
+    oi = 0
+    queue: deque[int] = deque()
+    while grown < target and oi <= n:
+        if not queue:
+            while oi < n and visited[order[oi]]:
+                oi += 1
+            if oi >= n:
+                break
+            queue.append(int(order[oi]))
+            visited[order[oi]] = True
+        v = queue.popleft()
+        part[v] = 0
+        grown += g.vwgt[v, 0]
+        for u in g.neighbors(v):
+            if not visited[u]:
+                visited[u] = True
+                queue.append(int(u))
+    return part
+
+
+def _deque_net_growing(hg, target_frac, rng):
+    """The former scalar net-BFS, kept as the test oracle."""
+    n = hg.n
+    part = np.ones(n, dtype=np.int64)
+    target = hg.total_weight()[0] * target_frac
+    grown = 0.0
+    visited = np.zeros(n, dtype=bool)
+    order = rng.permutation(n)
+    oi = 0
+    queue: deque[int] = deque()
+    while grown < target:
+        if not queue:
+            while oi < n and visited[order[oi]]:
+                oi += 1
+            if oi >= n:
+                break
+            queue.append(int(order[oi]))
+            visited[order[oi]] = True
+        v = queue.popleft()
+        part[v] = 0
+        grown += hg.vwgt[v, 0]
+        for e in hg.nets_of(v).tolist():
+            for u in hg.pins(e).tolist():
+                if not visited[u]:
+                    visited[u] = True
+                    queue.append(u)
+    return part
+
+
+class TestVectorisedGrowing:
+    @pytest.mark.parametrize("tf", [0.0, 0.3, 0.5, 1.0])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_graph_growing_matches_deque(self, small_rmat, tf, seed):
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        a = _deque_graph_growing(g, tf, np.random.default_rng(seed))
+        b = greedy_graph_growing(g, tf, np.random.default_rng(seed))
+        assert np.array_equal(a, b)
+
+    def test_graph_growing_disconnected(self):
+        A = sp.block_diag([rmat(7, 4, seed=2), grid2d(8, 8)], format="csr")
+        g = PartGraph.from_matrix(A, "nnz")
+        for seed in range(4):
+            a = _deque_graph_growing(g, 0.5, np.random.default_rng(seed))
+            b = greedy_graph_growing(g, 0.5, np.random.default_rng(seed))
+            assert np.array_equal(a, b)
+
+    def test_graph_growing_edgeless(self):
+        g = PartGraph.from_matrix(sp.csr_matrix((30, 30)), "unit")
+        a = _deque_graph_growing(g, 0.5, np.random.default_rng(1))
+        b = greedy_graph_growing(g, 0.5, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+        assert (b == 0).sum() == 15
+
+    @pytest.mark.parametrize("tf", [0.2, 0.5, 0.8])
+    def test_net_growing_matches_deque(self, small_rmat, tf):
+        hg = Hypergraph.from_matrix_column_net(small_rmat, "nnz")
+        for seed in range(3):
+            a = _deque_net_growing(hg, tf, np.random.default_rng(seed))
+            b = _greedy_net_growing(hg, tf, np.random.default_rng(seed))
+            assert np.array_equal(a, b)
+
+
+class TestHypergraphGainBatch:
+    def test_compute_gain_many_matches_scalar(self, small_rmat):
+        hg = Hypergraph.from_matrix_column_net(small_rmat, "nnz")
+        part = (np.random.default_rng(2).random(hg.n) < 0.5).astype(np.int64)
+        counts = hg.net_part_counts(part, 2).toarray().astype(np.int64)
+        vs = np.random.default_rng(3).choice(hg.n, size=64, replace=False)
+        batch = _compute_gain_many(hg, part, counts, vs)
+        for v, gb in zip(vs.tolist(), batch):
+            assert gb == _compute_gain(hg, part, counts, v)
+
+    def test_compute_gain_many_empty(self, small_rmat):
+        hg = Hypergraph.from_matrix_column_net(small_rmat, "nnz")
+        part = np.zeros(hg.n, dtype=np.int64)
+        counts = hg.net_part_counts(part, 2).toarray().astype(np.int64)
+        assert _compute_gain_many(hg, part, counts, np.array([], dtype=np.int64)) == []
+
+    def test_refiner_improves_cut(self, small_rmat):
+        hg = Hypergraph.from_matrix_column_net(small_rmat, "nnz")
+        part0 = (np.random.default_rng(0).random(hg.n) < 0.5).astype(np.int64)
+        refined = fm_refine_hypergraph(hg, part0)
+        assert hg.cut_connectivity_minus_one(refined, 2) < hg.cut_connectivity_minus_one(part0, 2)
+
+
+class TestPhaseProfiler:
+    def test_disabled_returns_null(self):
+        assert perf.active_profiler() is None
+        cm = perf.phase("anything")
+        with cm:
+            pass  # no-op context manager, no profiler active
+
+    def test_nested_aggregation(self):
+        with perf.profile() as prof:
+            with perf.phase("outer"):
+                for _ in range(3):
+                    with perf.phase("inner"):
+                        pass
+            with perf.phase("outer"):
+                pass
+        assert prof.stats[("outer",)].calls == 2
+        assert prof.stats[("outer", "inner")].calls == 3
+        d = prof.as_dict()
+        assert d["outer"]["calls"] == 2
+        assert d["outer/inner"]["calls"] == 3
+        assert prof.total_seconds() == pytest.approx(
+            prof.stats[("outer",)].seconds
+        )
+
+    def test_report_orders_parent_first(self):
+        with perf.profile() as prof:
+            with perf.phase("a"):
+                with perf.phase("b"):
+                    pass
+        lines = prof.report().splitlines()
+        ia = next(i for i, line in enumerate(lines) if line.startswith("a"))
+        ib = next(i for i, line in enumerate(lines) if line.strip().startswith("b"))
+        assert ia < ib
+
+    def test_profile_blocks_nest_independently(self):
+        with perf.profile() as outer:
+            with perf.phase("seen-by-outer"):
+                pass
+            with perf.profile() as inner:
+                with perf.phase("seen-by-inner"):
+                    pass
+            with perf.phase("also-outer"):
+                pass
+        assert ("seen-by-inner",) in inner.stats
+        assert ("seen-by-inner",) not in outer.stats
+        assert ("seen-by-outer",) in outer.stats
+        assert ("also-outer",) in outer.stats
+        assert perf.active_profiler() is None
+
+    def test_partition_records_pipeline_phases(self, small_rmat):
+        from repro.partitioning import partition_matrix
+
+        with perf.profile() as prof:
+            partition_matrix(small_rmat, 4, method="gp", seed=0)
+        keys = set(prof.as_dict())
+        assert {"build-graph", "bisect", "bisect/coarsen",
+                "bisect/initial", "bisect/refine"} <= keys
+
+    def test_profiling_does_not_change_results(self, small_rmat):
+        from repro.partitioning import partition_matrix
+
+        plain = partition_matrix(small_rmat, 4, method="gp", seed=0).part
+        with perf.profile():
+            profiled = partition_matrix(small_rmat, 4, method="gp", seed=0).part
+        assert np.array_equal(plain, profiled)
