@@ -6,19 +6,85 @@ so the coarse graph's cuts approximate the fine graph's. The sequential HEM
 loop vectorises poorly, so we use the standard parallel relaxation —
 *handshake matching*: every unmatched vertex points at its heaviest
 unmatched neighbour; mutual pointers form matches; repeat a few rounds.
-Each round is pure numpy (one lexsort), and 3-4 rounds recover most of the
-matching sequential HEM finds.
+
+Two kernels implement each coarsening stage (the pattern proven on FM
+refinement, see :mod:`repro.partitioning.refine`):
+
+* ``"vector"`` (default) — matching hoists the loop-invariant
+  ``adjwgt + jitter`` keys, compacts every round onto the shrinking
+  unmatched frontier (round 1 is the only full-width round; later rounds
+  touch only still-unmatched CSR slices) and replaces the lexsort-based
+  segment argmax with the reduceat form
+  (:func:`repro.partitioning._util.segment_argmax_last`); contraction
+  replaces the scipy ``P^T W P`` triple product with one sort-based edge
+  relabel + run-length segment sum over ``(cmap[src], cmap[dst])`` keys,
+  and seeds the coarse graph's memoized derived state (adjacency matrix,
+  edge sources) from construction by-products so the next level's
+  matching and refinement skip their first-touch rebuilds;
+* ``"reference"`` — the seed implementations kept verbatim as the
+  bit-identity oracle and timing baseline.
+
+Both kernels are bit-identical by contract: same matching, same coarse
+CSR arrays, same partitions all the way up — which
+``benchmarks/bench_coarsen_kernels.py`` gates across the whole corpus.
+The vector contraction relies on
+:meth:`~repro.partitioning.partgraph.PartGraph.exactly_summable_weights`
+(edge-weight sums are order-independent in float64 for the integer
+weights every graph in this package carries); graphs without that
+guarantee fall back to the reference contraction automatically.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 import scipy.sparse as sp
 
-from ._util import segment_argmax
+from .. import perf
+from ._util import gather_csr_slots, gather_slices, segment_argmax, segment_argmax_last
 from .partgraph import PartGraph
 
-__all__ = ["handshake_matching", "contract", "coarsen_level", "coarsen_to"]
+__all__ = [
+    "handshake_matching",
+    "contract",
+    "coarsen_level",
+    "coarsen_to",
+    "use_kernel",
+    "COARSEN_KERNELS",
+]
+
+#: Coarsening kernels (matching + contraction + the hypergraph stages in
+#: :mod:`repro.partitioning.hcoarsen`); module default is the vectorised one.
+COARSEN_KERNELS = ("vector", "reference")
+_DEFAULT_KERNEL = "vector"
+
+
+@contextmanager
+def use_kernel(kernel: str):
+    """Temporarily switch the module-default coarsening kernel (bench/test A/B).
+
+    Covers every stage behind the switch: graph matching and contraction
+    here, similarity graph and hypergraph contraction in
+    :mod:`repro.partitioning.hcoarsen`.
+    """
+    global _DEFAULT_KERNEL
+    if kernel not in COARSEN_KERNELS:
+        raise ValueError(f"unknown coarsen kernel {kernel!r}; choose from {COARSEN_KERNELS}")
+    prev = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = kernel
+    try:
+        yield
+    finally:
+        _DEFAULT_KERNEL = prev
+
+
+def _resolve_kernel(kernel: str | None) -> str:
+    """Validate *kernel*, defaulting to the module switch."""
+    kernel = kernel if kernel is not None else _DEFAULT_KERNEL
+    if kernel not in COARSEN_KERNELS:
+        raise ValueError(f"unknown coarsen kernel {kernel!r}; choose from {COARSEN_KERNELS}")
+    return kernel
 
 
 def handshake_matching(
@@ -26,6 +92,7 @@ def handshake_matching(
     rng: np.random.Generator,
     rounds: int = 4,
     max_vertex_weight: np.ndarray | None = None,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Heavy-edge handshake matching.
 
@@ -34,7 +101,26 @@ def handshake_matching(
     given, pairs whose combined primary weight would exceed it are not
     matched — this keeps giant coarse vertices (hubs absorbing everything)
     from destroying balance options later, the scale-free pitfall noted by
-    Abou-Rjeili & Karypis [3].
+    Abou-Rjeili & Karypis [3]. ``kernel`` selects the implementation
+    (``"vector"``/``"reference"``, default the module kernel, see
+    :func:`use_kernel`); both produce bit-identical matchings.
+    """
+    if _resolve_kernel(kernel) == "vector":
+        return _handshake_matching_vector(g, rng, rounds, max_vertex_weight)
+    return _handshake_matching_reference(g, rng, rounds, max_vertex_weight)
+
+
+def _handshake_matching_reference(
+    g: PartGraph,
+    rng: np.random.Generator,
+    rounds: int = 4,
+    max_vertex_weight: np.ndarray | None = None,
+) -> np.ndarray:
+    """Seed matching kernel, kept verbatim as the bit-identity oracle.
+
+    Every round recomputes the keys and masks over the *full* edge array
+    and runs the lexsort-based :func:`segment_argmax` — the per-round
+    costs the vector kernel removes.
     """
     n = g.n
     match = np.arange(n, dtype=np.int64)
@@ -76,6 +162,132 @@ def handshake_matching(
     return match
 
 
+def _handshake_matching_vector(
+    g: PartGraph,
+    rng: np.random.Generator,
+    rounds: int = 4,
+    max_vertex_weight: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vector matching kernel — replays the reference rounds exactly.
+
+    Bit-identity notes (each is load-bearing):
+
+    * the ``adjwgt + jitter`` keys are loop-invariant — the reference
+      recomputes the identical float array every round, so hoisting it is
+      bit-neutral; the weight-cap mask is equally static per level, so the
+      cap-masked keys ``k0`` are built once;
+    * a vertex's proposal is a pure function of its slot keys and its
+      neighbours' matched/unmatched state. Between rounds the only state
+      change is the set of newly matched vertices, so only *their
+      unmatched neighbours* can compute a different argmax — every other
+      stored proposal is exactly what the reference would recompute.
+      Rounds after the first therefore refresh just that affected set
+      (``gather_csr_slots`` + :func:`segment_argmax_last` on its
+      compacted slices, bit-equal to the full-width lexsort form);
+    * a new mutual pair must involve at least one refreshed proposal —
+      two unmatched vertices whose proposals both survived from the
+      previous round would have been matched then — so scanning the
+      refreshed set for mutuality finds exactly the reference's pairs
+      (deduped via the packed ``min*n + max`` key; the reference applies
+      all of a round's pairs simultaneously, so order is immaterial);
+    * when a round matches nothing, the state is a fixpoint: every later
+      reference round recomputes identical proposals and matches nothing,
+      so breaking early leaves ``match`` bit-identical.
+
+    On scale-free graphs this is the difference between four O(nnz)
+    sweeps and one: direct matching stalls against hubs (round one
+    matches a few percent), so the affected sets of later rounds are
+    tiny while the reference pays full width every time.
+    """
+    n = g.n
+    match = np.arange(n, dtype=np.int64)
+    if g.xadj[-1] == 0:
+        return match
+    unmatched_mask = np.ones(n, dtype=bool)
+
+    # hoisted keys, identical every reference round; built in place
+    # (jitter * 1e-6 then += adjwgt — float addition is commutative, so
+    # the bits match the reference's adjwgt + jitter)
+    keys = rng.random(len(g.adjncy))
+    keys *= 1e-6
+    keys += g.adjwgt
+    xadj, adjncy = g.xadj, g.adjncy
+    vwgt0 = g.vwgt[:, 0]
+    proposal = np.full(n, -1, dtype=np.int64)
+
+    # cap-masked keys, built once: the cap compares static vertex weights.
+    # When even the two heaviest vertices together fit under the cap the
+    # mask is all-true, so the raw keys are used unmasked — bit-identical,
+    # and it skips two O(nnz) gathers per level (on scale-free corpora the
+    # cap only binds on coarse levels, after hubs absorb real weight).
+    if max_vertex_weight is None or 2.0 * vwgt0.max() <= max_vertex_weight[0]:
+        k0 = keys
+    else:
+        combined = vwgt0[g.edge_sources()] + vwgt0[adjncy]
+        k0 = np.where(combined <= max_vertex_weight[0], keys, -np.inf)
+
+    # round one at full width: every vertex is unmatched, so the
+    # unmatched factor is all-true and the gather is the identity
+    best = segment_argmax_last(k0, xadj)
+    # when the keys are unmasked this is also the full-graph raw-key argmax
+    # the two-hop stage needs — reuse it instead of recomputing
+    best_full = best if k0 is keys else None
+    has = best >= 0
+    valid = has.copy()
+    valid[has] = k0[best[has]] > -np.inf
+    vv = np.flatnonzero(valid)
+    proposal[vv] = adjncy[best[vv]]
+    u = proposal[vv]
+    mutual = proposal[u] == vv
+    v, u = vv[mutual], u[mutual]
+    pick = v < u  # each pair appears twice; keep one orientation
+    v, u = v[pick], u[pick]
+    match[v] = u
+    match[u] = v
+    unmatched_mask[v] = False
+    unmatched_mask[u] = False
+
+    affmask = np.zeros(n, dtype=bool)
+    for _ in range(1, rounds):
+        if len(v) == 0:
+            break  # fixpoint: later rounds would match nothing
+        # refresh proposals whose inputs changed: the unmatched
+        # neighbours of the vertices matched last round (mask-deduped —
+        # cheaper than hashing, and flatnonzero keeps ids ascending)
+        newly = np.concatenate((v, u))
+        affmask[:] = False
+        affmask[gather_slices(xadj, adjncy, newly)] = True
+        affmask &= unmatched_mask
+        aff = np.flatnonzero(affmask)
+        if len(aff) == 0:
+            break
+        slots, sub_xadj = gather_csr_slots(xadj, aff)
+        nbr = adjncy[slots]
+        k = np.where(unmatched_mask[nbr], k0[slots], -np.inf)
+        best = segment_argmax_last(k, sub_xadj)
+        has = best >= 0
+        ok = has.copy()
+        ok[has] = k[best[has]] > -np.inf
+        newprop = np.full(len(aff), -1, dtype=np.int64)
+        newprop[ok] = nbr[best[ok]]
+        proposal[aff] = newprop
+        # new mutual pairs all touch the refreshed set (see docstring)
+        cand = aff[newprop >= 0]
+        t = proposal[cand]
+        mutual = proposal[t] == cand
+        a, b = cand[mutual], t[mutual]
+        pairkey = np.unique(np.minimum(a, b) * n + np.maximum(a, b))
+        v = pairkey // n
+        u = pairkey % n
+        match[v] = u
+        match[u] = v
+        unmatched_mask[v] = False
+        unmatched_mask[u] = False
+
+    _two_hop_matching_vector(g, match, unmatched_mask, keys, max_vertex_weight, best_full)
+    return match
+
+
 def _two_hop_matching(
     g: PartGraph,
     match: np.ndarray,
@@ -91,6 +303,9 @@ def _two_hop_matching(
     leaves of a common hub with each other instead, restoring geometric
     shrink rates. Fully vectorised: group unmatched vertices by their
     heaviest neighbour, then pair consecutive members of each group.
+
+    This is the reference form (full-graph lexsort argmax), kept verbatim;
+    the vector matching kernel uses :func:`_two_hop_matching_vector`.
     """
     um = np.flatnonzero(unmatched_mask)
     if len(um) < 2:
@@ -101,6 +316,51 @@ def _two_hop_matching(
     # paired with each other — merging edgeless vertices is always safe and
     # keeps them from stalling the coarsening
     anchor = np.where(best[um] >= 0, g.adjncy[np.maximum(best[um], 0)], -1)
+    _pair_by_anchor(g, match, unmatched_mask, um, anchor, max_vertex_weight)
+
+
+def _two_hop_matching_vector(
+    g: PartGraph,
+    match: np.ndarray,
+    unmatched_mask: np.ndarray,
+    keys: np.ndarray,
+    max_vertex_weight: np.ndarray | None,
+    best_full: np.ndarray | None = None,
+) -> None:
+    """Two-hop pairing without the reference's second full-width argmax.
+
+    Anchors ignore matched/unmatched status by design — the heaviest
+    neighbour may well be matched — so the anchor argmax runs on the raw
+    hoisted ``adjwgt + jitter`` keys, exactly the reference's. When the
+    matching rounds ran on unmasked keys (*best_full*), their round-one
+    argmax is that exact computation and is reused outright; otherwise the
+    argmax runs on the compacted CSR slices of the unmatched vertices only
+    (still far cheaper than the reference's full-graph lexsort).
+    """
+    um = np.flatnonzero(unmatched_mask)
+    if len(um) < 2:
+        return
+    if best_full is not None:
+        bu = best_full[um]
+        anchor = np.where(bu >= 0, g.adjncy[np.maximum(bu, 0)], -1)
+    else:
+        slots, sub_xadj = gather_csr_slots(g.xadj, um)
+        best = segment_argmax_last(keys[slots], sub_xadj)
+        anchor = np.full(len(um), -1, dtype=np.int64)  # sentinel: isolated rows
+        has = best >= 0
+        anchor[has] = g.adjncy[slots[best[has]]]
+    _pair_by_anchor(g, match, unmatched_mask, um, anchor, max_vertex_weight)
+
+
+def _pair_by_anchor(
+    g: PartGraph,
+    match: np.ndarray,
+    unmatched_mask: np.ndarray,
+    um: np.ndarray,
+    anchor: np.ndarray,
+    max_vertex_weight: np.ndarray | None,
+) -> None:
+    """Pair consecutive members of each anchor group (shared by both kernels)."""
     order = np.argsort(anchor, kind="stable")
     um_sorted = um[order]
     anch_sorted = anchor[order]
@@ -117,20 +377,35 @@ def _two_hop_matching(
     unmatched_mask[b] = False
 
 
-def contract(g: PartGraph, match: np.ndarray) -> tuple[PartGraph, np.ndarray]:
+def _coarse_map(match: np.ndarray) -> tuple[np.ndarray, int]:
+    """Fine-to-coarse vertex map: representative = min(v, match[v])."""
+    n = len(match)
+    rep = np.minimum(np.arange(n, dtype=np.int64), match)
+    is_rep = rep == np.arange(n)
+    cmap = np.cumsum(is_rep) - 1  # coarse id of each representative
+    return cmap[rep], int(is_rep.sum())
+
+
+def contract(
+    g: PartGraph, match: np.ndarray, kernel: str | None = None
+) -> tuple[PartGraph, np.ndarray]:
     """Contract matched pairs into coarse vertices.
 
     Returns the coarse graph and ``cmap`` (fine vertex -> coarse vertex).
     Coarse edge weights are the summed fine weights between clusters;
     internal edges vanish (they become coarse self-loops and are dropped).
+    ``kernel`` selects the implementation (``"vector"``/``"reference"``,
+    default the module kernel); both produce bit-identical coarse graphs.
     """
+    if _resolve_kernel(kernel) == "vector" and g.exactly_summable_weights():
+        return _contract_vector(g, match)
+    return _contract_reference(g, match)
+
+
+def _contract_reference(g: PartGraph, match: np.ndarray) -> tuple[PartGraph, np.ndarray]:
+    """Seed contraction kernel: scipy ``P^T W P`` triple product (verbatim)."""
     n = g.n
-    # number coarse vertices: representative = min(v, match[v])
-    rep = np.minimum(np.arange(n, dtype=np.int64), match)
-    is_rep = rep == np.arange(n)
-    cmap = np.cumsum(is_rep) - 1  # coarse id of each representative
-    cmap = cmap[rep]  # fine -> coarse
-    nc = int(is_rep.sum())
+    cmap, nc = _coarse_map(match)
 
     # coarse adjacency via sparse triple product P^T W P
     W = g.adjacency_matrix()
@@ -150,12 +425,115 @@ def contract(g: PartGraph, match: np.ndarray) -> tuple[PartGraph, np.ndarray]:
     return PartGraph(Wc.indptr, Wc.indices, Wc.data, vwgt_c), cmap
 
 
+def _contract_vector(g: PartGraph, match: np.ndarray) -> tuple[PartGraph, np.ndarray]:
+    """Sort-based contraction: relabel edges, segment-sum duplicate runs.
+
+    Each fine edge slot becomes the pair ``(cmap[src], cmap[dst])``; one
+    stable argsort of the packed int64 key groups duplicates into runs,
+    and a bincount over run ids sums their weights. Equality with the
+    triple product holds bit-for-bit because
+
+    * the coarse *pattern* is a set construction (which coarse pairs have
+      any fine edge) — order-free;
+    * coarse edge *weights* are sums of fine weights, and the caller
+      (:func:`contract`) only dispatches here under
+      :meth:`~repro.partitioning.partgraph.PartGraph.exactly_summable_weights`,
+      which makes every such sum exact in float64 — the same number under
+      any summation order, scipy's or ours;
+    * dropped entries match: self-loops are excluded up front
+      (``setdiag(0)``), and zero-total runs are filtered like
+      ``eliminate_zeros`` (with exact sums, "total is 0.0" is the same
+      predicate in both kernels);
+    * sorting the packed key yields row-major, column-ascending runs —
+      exactly the ``tocsr`` + ``sort_indices`` layout.
+
+    The packed keys need ``nc * nc * nslots < 2**63`` (checked; the wider
+    argsort form covers the overflow case). The coarse graph's memoized
+    adjacency matrix and edge-source array are seeded from construction
+    by-products, so the next coarsening level and the uncoarsening
+    refinement skip their first-touch rebuilds.
+    """
+    cmap, nc = _coarse_map(match)
+
+    cs = cmap[g.edge_sources()]
+    cd = cmap[g.adjncy]
+    keep = cs != cd  # coarse self-loops (internal edges) vanish
+    # bit-packed (row, col) key: cd < nc <= 2**bits, so the packing is
+    # lexicographic by (cs, cd) — the same run grouping and order as the
+    # arithmetic cs*nc+cd form, recoverable with shifts instead of divmod
+    bits = int(nc - 1).bit_length()
+    key = cs[keep]
+    key <<= bits
+    key |= cd[keep]
+    w = g.adjwgt[keep]
+
+    if len(key):
+        nslots = len(key)
+        shift = int(nslots - 1).bit_length()
+        if (int(nc) << bits) << shift < 2**63:
+            # pack the slot index into the low bits: sorting the packed
+            # value reproduces the stable argsort of `key` exactly (ties
+            # break by ascending position) with one index-free in-place
+            # np.sort — about half the cost of an argsort at this width
+            packed = key << shift
+            packed += np.arange(nslots, dtype=np.int64)
+            packed.sort()
+            order = packed & ((np.int64(1) << shift) - 1)
+            ks = packed >> shift
+        else:  # packed key would overflow int64: plain stable argsort
+            order = np.argsort(key, kind="stable")
+            ks = key[order]
+        head = np.empty(len(ks), dtype=bool)
+        head[0] = True
+        np.not_equal(ks[1:], ks[:-1], out=head[1:])
+        starts = np.flatnonzero(head)
+        # run sums as differences of the inclusive prefix sum at run ends.
+        # Every partial sum is an integer below 2**53 (the kernel's gate),
+        # so prefix sums and their differences are exact — bit-identical
+        # to summing each run directly, in any order
+        csum = np.cumsum(w[order])
+        ends1 = np.empty(len(starts), dtype=np.int64)
+        ends1[:-1] = starts[1:] - 1
+        ends1[-1] = nslots - 1
+        sums = np.diff(csum[ends1], prepend=0.0)
+        uk = ks[head]
+        nonzero = sums != 0.0  # mirror eliminate_zeros on exact totals
+        uk, sums = uk[nonzero], sums[nonzero]
+        rows = uk >> bits
+        cols = uk & ((np.int64(1) << bits) - 1)
+    else:
+        rows = cols = np.empty(0, dtype=np.int64)
+        sums = np.empty(0, dtype=np.float64)
+
+    indptr = np.zeros(nc + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=nc), out=indptr[1:])
+
+    vwgt_c = np.empty((nc, g.ncon))
+    for c in range(g.ncon):
+        vwgt_c[:, c] = np.bincount(cmap, weights=g.vwgt[:, c], minlength=nc)
+
+    gc = PartGraph(indptr, cols, sums, vwgt_c)
+    # coarse weights are sums of the fine integer weights this kernel is
+    # gated on, with a no-larger absolute total — still exactly summable
+    gc.seed_derived(
+        adjacency=sp.csr_matrix((gc.adjwgt, gc.adjncy, gc.xadj), shape=(nc, nc)),
+        edge_sources=rows,
+        exactly_summable=True,
+    )
+    return gc, cmap
+
+
 def coarsen_level(
-    g: PartGraph, rng: np.random.Generator, max_vertex_weight: np.ndarray | None = None
+    g: PartGraph,
+    rng: np.random.Generator,
+    max_vertex_weight: np.ndarray | None = None,
+    kernel: str | None = None,
 ) -> tuple[PartGraph, np.ndarray]:
-    """One coarsening level: match then contract."""
-    match = handshake_matching(g, rng, max_vertex_weight=max_vertex_weight)
-    return contract(g, match)
+    """One coarsening level: match then contract (each a profiler phase)."""
+    with perf.phase("match"):
+        match = handshake_matching(g, rng, max_vertex_weight=max_vertex_weight, kernel=kernel)
+    with perf.phase("contract"):
+        return contract(g, match, kernel=kernel)
 
 
 def coarsen_to(
@@ -164,6 +542,7 @@ def coarsen_to(
     rng: np.random.Generator,
     max_weight_fraction: float = 0.25,
     min_shrink: float = 0.95,
+    kernel: str | None = None,
 ) -> list[tuple[PartGraph, np.ndarray | None]]:
     """Coarsen until fewer than *min_vertices* vertices remain.
 
@@ -173,13 +552,15 @@ def coarsen_to(
     stalled, typical for star-like scale-free cores).
 
     ``max_weight_fraction`` bounds any coarse vertex to that fraction of
-    total weight so bisection balance stays achievable.
+    total weight so bisection balance stays achievable. ``kernel`` selects
+    the matching/contraction implementation for every level (see
+    :func:`use_kernel`).
     """
     levels: list[tuple[PartGraph, np.ndarray | None]] = [(g, None)]
     max_w = g.total_weight() * max_weight_fraction
     while levels[-1][0].n > min_vertices:
         cur = levels[-1][0]
-        gc, cmap = coarsen_level(cur, rng, max_vertex_weight=max_w)
+        gc, cmap = coarsen_level(cur, rng, max_vertex_weight=max_w, kernel=kernel)
         if gc.n >= cur.n * min_shrink:
             break
         levels.append((gc, cmap))

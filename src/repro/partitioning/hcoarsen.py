@@ -7,6 +7,20 @@ heavy-connectivity measure used by PaToH and Zoltan PHG), where ``H'``
 excludes very large nets — a hub column with thousands of pins would
 otherwise create a quadratic-size similarity clique while carrying almost
 no matching signal. Matching on S reuses the graph handshake matcher.
+
+Both hypergraph stages run behind the same kernel switch as the graph
+stages (:data:`repro.partitioning.coarsen.COARSEN_KERNELS`):
+
+* ``"vector"`` — :func:`similarity_graph` builds the scaled incidence
+  directly from the kept rows' CSR arrays instead of the intermediate
+  ``diags @ Hs`` matmul; :func:`hcontract` relabels pins with one sorted
+  packed-key pass (net id, coarse pin) instead of the ``H @ P`` sparse
+  matmul;
+* ``"reference"`` — the seed scipy implementations kept verbatim as the
+  bit-identity oracle.
+
+Both produce bit-identical coarse hypergraphs; the full-corpus gate lives
+in ``benchmarks/bench_coarsen_kernels.py``.
 """
 
 from __future__ import annotations
@@ -14,16 +28,24 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from .. import perf
 from ..graphs.csr import as_csr
-from .coarsen import handshake_matching
+from .coarsen import _resolve_kernel, handshake_matching
 from .hypergraph import Hypergraph
 from .partgraph import PartGraph
 
 __all__ = ["similarity_graph", "hcontract", "hcoarsen_level", "hcoarsen_to"]
 
 
-def similarity_graph(hg: Hypergraph, max_net_size: int = 50) -> PartGraph:
-    """Vertex-similarity graph weighted by shared-net overlap."""
+def similarity_graph(
+    hg: Hypergraph, max_net_size: int = 50, kernel: str | None = None
+) -> PartGraph:
+    """Vertex-similarity graph weighted by shared-net overlap.
+
+    ``kernel`` selects the implementation (``"vector"``/``"reference"``,
+    default the module kernel in :mod:`repro.partitioning.coarsen`); both
+    produce bit-identical similarity graphs.
+    """
     sizes = hg.net_sizes()
     keep = (sizes >= 2) & (sizes <= max_net_size)
     Hs = hg.H[keep]
@@ -33,27 +55,106 @@ def similarity_graph(hg: Hypergraph, max_net_size: int = 50) -> PartGraph:
         empty = sp.csr_matrix((hg.n, hg.n))
         return PartGraph.from_scipy(empty, hg.vwgt)
     w = 1.0 / np.maximum(sizes[keep] - 1, 1)
-    Hw = sp.diags(np.sqrt(w * hg.netwgt[keep])) @ Hs
+    scale = np.sqrt(w * hg.netwgt[keep])
+    if _resolve_kernel(kernel) == "vector":
+        # diags(scale) @ Hs multiplies every (binary) pin entry of row e by
+        # scale[e]: with data 1.0 the products are exactly scale[e], so the
+        # scaled incidence can be assembled from Hs's own CSR arrays with a
+        # repeat — same pattern, bit-equal data, no SpGEMM
+        data = np.repeat(scale, np.diff(Hs.indptr))
+        Hw = sp.csr_matrix((data, Hs.indices, Hs.indptr), shape=Hs.shape)
+    else:
+        Hw = sp.diags(scale) @ Hs
     S = as_csr(Hw.T @ Hw)
     S.setdiag(0.0)
     S.eliminate_zeros()
     return PartGraph.from_scipy(S, hg.vwgt)
 
 
-def hcontract(hg: Hypergraph, match: np.ndarray) -> tuple[Hypergraph, np.ndarray]:
-    """Contract matched vertex pairs; drop nets that fall below 2 pins."""
-    n = hg.n
+def _coarse_map(match: np.ndarray) -> tuple[np.ndarray, int]:
+    """Fine-to-coarse vertex map: representative = min(v, match[v])."""
+    n = len(match)
     rep = np.minimum(np.arange(n, dtype=np.int64), match)
     is_rep = rep == np.arange(n)
     cmap = (np.cumsum(is_rep) - 1)[rep]
-    nc = int(is_rep.sum())
+    return cmap, int(is_rep.sum())
+
+
+def _coarse_vwgt(hg: Hypergraph, cmap: np.ndarray, nc: int) -> np.ndarray:
+    """Coarse vertex weights: per-constraint histogram over ``cmap``.
+
+    ``np.bincount`` sums in vertex order, exactly like the former
+    ``np.add.at`` accumulation (see the identity test in
+    ``tests/test_hypergraph.py``), but several times faster.
+    """
+    vwgt_c = np.empty((nc, hg.ncon))
+    for c in range(hg.ncon):
+        vwgt_c[:, c] = np.bincount(cmap, weights=hg.vwgt[:, c], minlength=nc)
+    return vwgt_c
+
+
+def hcontract(
+    hg: Hypergraph, match: np.ndarray, kernel: str | None = None
+) -> tuple[Hypergraph, np.ndarray]:
+    """Contract matched vertex pairs; drop nets that fall below 2 pins.
+
+    ``kernel`` selects the implementation; both produce bit-identical
+    coarse hypergraphs (same incidence pattern, weights, net set).
+    """
+    if _resolve_kernel(kernel) == "vector":
+        return _hcontract_vector(hg, match)
+    return _hcontract_reference(hg, match)
+
+
+def _hcontract_reference(hg: Hypergraph, match: np.ndarray) -> tuple[Hypergraph, np.ndarray]:
+    """Seed contraction kernel: pin relabeling via the ``H @ P`` matmul."""
+    n = hg.n
+    cmap, nc = _coarse_map(match)
     P = sp.csr_matrix((np.ones(n), (np.arange(n), cmap)), shape=(n, nc))
     Hc = as_csr(hg.H @ P)
     Hc.data[:] = 1.0
     keep = np.diff(Hc.indptr) >= 2
-    vwgt_c = np.zeros((nc, hg.ncon))
-    np.add.at(vwgt_c, cmap, hg.vwgt)
+    vwgt_c = _coarse_vwgt(hg, cmap, nc)
     return Hypergraph(as_csr(Hc[keep]), vwgt_c, hg.netwgt[keep]), cmap
+
+
+def _hcontract_vector(hg: Hypergraph, match: np.ndarray) -> tuple[Hypergraph, np.ndarray]:
+    """Sort-based contraction: relabel pins, dedupe (net, coarse-pin) pairs.
+
+    ``H @ P`` maps every pin of net e to its coarse vertex and merges
+    duplicates (two matched pins of the same net become one coarse pin);
+    the resulting data counts are >= 1, so the reference's
+    ``eliminate_zeros`` inside ``as_csr`` never fires and its
+    ``data[:] = 1.0`` erases the counts anyway. The same set arrives
+    without a matmul: pack each pin as ``net_id * nc + cmap[pin]``, sort,
+    drop duplicates. Sorting the packed key yields nets ascending with
+    coarse pins ascending inside each net — the canonical CSR layout
+    ``as_csr`` produces — so the incidence arrays are identical. The
+    below-2-pin net filter and the net-weight restriction then operate on
+    identical inputs in both kernels.
+    """
+    cmap, nc = _coarse_map(match)
+    H = hg.H
+    net_of_pin = np.repeat(
+        np.arange(hg.nnets, dtype=np.int64), np.diff(H.indptr)
+    )
+    key = net_of_pin * np.int64(nc) + cmap[H.indices]
+    key = np.unique(key)  # sorts and dedupes merged pins in one pass
+    nets = key // nc
+    pins = key % nc
+    counts = np.bincount(nets, minlength=hg.nnets)
+    keep = counts >= 2
+
+    # compact to kept nets: pins are already grouped by net in net order
+    keep_pin = keep[nets]
+    pins = pins[keep_pin]
+    indptr = np.zeros(int(keep.sum()) + 1, dtype=np.int64)
+    np.cumsum(counts[keep], out=indptr[1:])
+    Hc = sp.csr_matrix(
+        (np.ones(len(pins)), pins, indptr), shape=(len(indptr) - 1, nc)
+    )
+    vwgt_c = _coarse_vwgt(hg, cmap, nc)
+    return Hypergraph(Hc, vwgt_c, hg.netwgt[keep]), cmap
 
 
 def hcoarsen_level(
@@ -61,11 +162,17 @@ def hcoarsen_level(
     rng: np.random.Generator,
     max_vertex_weight: np.ndarray | None = None,
     max_net_size: int = 50,
+    kernel: str | None = None,
 ) -> tuple[Hypergraph, np.ndarray]:
-    """One coarsening level: similarity matching then contraction."""
-    sim = similarity_graph(hg, max_net_size=max_net_size)
-    match = handshake_matching(sim, rng, max_vertex_weight=max_vertex_weight)
-    return hcontract(hg, match)
+    """One coarsening level: similarity, matching, contraction (profiled)."""
+    with perf.phase("similarity"):
+        sim = similarity_graph(hg, max_net_size=max_net_size, kernel=kernel)
+    with perf.phase("match"):
+        match = handshake_matching(
+            sim, rng, max_vertex_weight=max_vertex_weight, kernel=kernel
+        )
+    with perf.phase("contract"):
+        return hcontract(hg, match, kernel=kernel)
 
 
 def hcoarsen_to(
@@ -74,13 +181,18 @@ def hcoarsen_to(
     rng: np.random.Generator,
     max_weight_fraction: float = 0.25,
     min_shrink: float = 0.95,
+    kernel: str | None = None,
 ) -> list[tuple[Hypergraph, np.ndarray | None]]:
-    """Coarsen until under *min_vertices* vertices or matching stalls."""
+    """Coarsen until under *min_vertices* vertices or matching stalls.
+
+    ``kernel`` selects the similarity/matching/contraction implementation
+    for every level (see :func:`repro.partitioning.coarsen.use_kernel`).
+    """
     levels: list[tuple[Hypergraph, np.ndarray | None]] = [(hg, None)]
     max_w = hg.total_weight() * max_weight_fraction
     while levels[-1][0].n > min_vertices:
         cur = levels[-1][0]
-        hgc, cmap = hcoarsen_level(cur, rng, max_vertex_weight=max_w)
+        hgc, cmap = hcoarsen_level(cur, rng, max_vertex_weight=max_w, kernel=kernel)
         if hgc.n >= cur.n * min_shrink:
             break
         levels.append((hgc, cmap))

@@ -97,15 +97,21 @@ def multilevel_hypergraph_bisect(
     min_coarse: int = 120,
     n_initial: int = 3,
     refine_passes: int = 3,
+    coarsen_kernel: str | None = None,
 ) -> np.ndarray:
-    """Bisect hypergraph *hg* minimising connectivity-1 under balance."""
+    """Bisect hypergraph *hg* minimising connectivity-1 under balance.
+
+    ``coarsen_kernel`` selects the coarsening implementation (see
+    :func:`repro.partitioning.coarsen.use_kernel`); partitions are
+    bit-identical either way.
+    """
     if hg.n == 0:
         return np.zeros(0, dtype=np.int64)
     if hg.n == 1:
         return np.zeros(1, dtype=np.int64)
     rng = np.random.default_rng(seed)
     with perf.phase("coarsen"):
-        levels = hcoarsen_to(hg, min_coarse, rng)
+        levels = hcoarsen_to(hg, min_coarse, rng, kernel=coarsen_kernel)
     hgc = levels[-1][0]
     allow_c = hg_balance_allowance(hgc, target_fracs, ub)
 

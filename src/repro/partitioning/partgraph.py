@@ -145,6 +145,28 @@ class PartGraph:
             )
         return self._adj
 
+    def seed_derived(
+        self,
+        adjacency: sp.csr_matrix | None = None,
+        edge_sources: np.ndarray | None = None,
+        exactly_summable: bool | None = None,
+    ) -> None:
+        """Pre-populate memoized derived state from construction by-products.
+
+        The sort-based contraction kernel produces the coarse adjacency
+        matrix and the per-slot source array as intermediates; seeding them
+        here lets the next coarsening level and the uncoarsening refinement
+        skip their first-touch rebuilds. Seeded values must be exactly what
+        the lazy builders would compute (same canonical CSR, same values) —
+        callers own that contract.
+        """
+        if adjacency is not None:
+            self._adj = adjacency
+        if edge_sources is not None:
+            self._edge_src = np.asarray(edge_sources, dtype=np.int64)
+        if exactly_summable is not None:
+            self._intw = bool(exactly_summable)
+
     def edge_sources(self) -> np.ndarray:
         """Source vertex of every CSR slot, aligned with ``adjncy`` (memoized)."""
         if self._edge_src is None:

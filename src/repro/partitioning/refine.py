@@ -55,6 +55,15 @@ _DEFAULT_KERNEL = "vector"
 #: bit-identical, the threshold only trades constant factors
 _HUB_DEGREE = 64
 
+#: CSR slot count at or above which the vector passes skip the full list
+#: mirrors (three O(nnz) ``tolist`` conversions) and convert each moved
+#: vertex's slice on demand instead. FM touches only boundary vertices, so
+#: on fine levels the mirrors convert millions of slots to move a few
+#: thousand — the conversion dominated the whole refine phase. Values are
+#: identical either way (``tolist`` of a slice == slice of ``tolist``), so
+#: the threshold only trades constant factors.
+_MIRROR_SLOTS = 200_000
+
 
 @contextmanager
 def use_kernel(kernel: str):
@@ -265,7 +274,12 @@ def _fm_pass_vec1(
     """
     gain, boundary = _gains_and_boundary(g, part)
     adjncy, adjwgt = g.adjncy, g.adjwgt
-    xadj_l, adjncy_l, adjwgt_l = g.adjacency_lists()
+    big = len(adjncy) >= _MIRROR_SLOTS
+    if big:
+        xadj_l = g.xadj  # scalar int64 reads; slices convert per move
+        adjncy_l = adjwgt_l = None
+    else:
+        xadj_l, adjncy_l, adjwgt_l = g.adjacency_lists()
     vw = g.vwgt_lists()[0]
 
     sw0, sw1 = np.bincount(part, weights=g.vwgt[:, 0], minlength=2).tolist()
@@ -408,7 +422,13 @@ def _fm_pass_vec1(
                     counter += 1
                     seen_b[u] = 1
         else:
-            for u, w_uv in zip(adjncy_l[lo:hi], adjwgt_l[lo:hi]):
+            if big:
+                nbr_l = adjncy[lo:hi].tolist()
+                wuv_l = adjwgt[lo:hi].tolist()
+            else:
+                nbr_l = adjncy_l[lo:hi]
+                wuv_l = adjwgt_l[lo:hi]
+            for u, w_uv in zip(nbr_l, wuv_l):
                 if part_l[u] == s:  # was internal for u, now external
                     ng = gain_l[u] + 2.0 * w_uv
                 else:  # was external, now internal
@@ -459,7 +479,12 @@ def _fm_pass_vecn(
     gain, boundary = _gains_and_boundary(g, part)
     ncon = g.ncon
     adjncy, adjwgt = g.adjncy, g.adjwgt
-    xadj_l, adjncy_l, adjwgt_l = g.adjacency_lists()
+    big = len(adjncy) >= _MIRROR_SLOTS
+    if big:
+        xadj_l = g.xadj  # scalar int64 reads; slices convert per move
+        adjncy_l = adjwgt_l = None
+    else:
+        xadj_l, adjncy_l, adjwgt_l = g.adjacency_lists()
     vcols = g.vwgt_lists()
 
     sw_np = np.zeros((2, ncon))
@@ -595,7 +620,13 @@ def _fm_pass_vecn(
                     counter += 1
                     seen_b[u] = 1
         else:
-            for u, w_uv in zip(adjncy_l[lo:hi], adjwgt_l[lo:hi]):
+            if big:
+                nbr_l = adjncy[lo:hi].tolist()
+                wuv_l = adjwgt[lo:hi].tolist()
+            else:
+                nbr_l = adjncy_l[lo:hi]
+                wuv_l = adjwgt_l[lo:hi]
+            for u, w_uv in zip(nbr_l, wuv_l):
                 if part_l[u] == s:  # was internal for u, now external
                     ng = gain_l[u] + 2.0 * w_uv
                 else:  # was external, now internal

@@ -96,6 +96,21 @@ class PhaseProfiler:
         """Wall seconds of the outermost phases (depth-1 rows)."""
         return sum(st.seconds for path, st in self.stats.items() if len(path) == 1)
 
+    def seconds(self, path: str) -> float:
+        """Total seconds accumulated under slash-path *path* (0.0 if absent).
+
+        *path* matches :meth:`as_dict` keys by suffix-free equality or, when
+        it names an interior phase (``"bisect/coarsen"``), sums every stack
+        whose joined form ends with it — which is what gate checks need:
+        ``bisect/coarsen`` appears once per recursive-bisection node.
+        """
+        want = tuple(path.split("/"))
+        total = 0.0
+        for p, st in self.stats.items():
+            if p == want or (len(p) >= len(want) and p[-len(want):] == want):
+                total += st.seconds
+        return total
+
     def as_dict(self) -> dict[str, dict[str, float | int]]:
         """JSON-friendly view: ``"a/b/c" -> {seconds, calls}``."""
         return {

@@ -1,16 +1,20 @@
 """Tests for repro.partitioning.coarsen — matching and contraction."""
 
 import numpy as np
+import pytest
 
 from repro.generators import grid2d, rmat
 from repro.graphs import from_edges
 from repro.partitioning import PartGraph
 from repro.partitioning.coarsen import (
+    COARSEN_KERNELS,
+    _resolve_kernel,
     _two_hop_matching,
     coarsen_level,
     coarsen_to,
     contract,
     handshake_matching,
+    use_kernel,
 )
 
 
@@ -173,3 +177,126 @@ class TestCoarsenTo:
         g = PartGraph.from_matrix(small_rmat, "nnz")
         levels = coarsen_to(g, 100, rng)
         assert levels[-1][0].n < 0.25 * g.n
+
+
+def _graphs_equal(a: PartGraph, b: PartGraph) -> bool:
+    return (
+        np.array_equal(a.xadj, b.xadj)
+        and np.array_equal(a.adjncy, b.adjncy)
+        and np.array_equal(a.adjwgt, b.adjwgt)
+        and np.array_equal(a.vwgt, b.vwgt)
+    )
+
+
+class TestCoarsenKernels:
+    """The vector kernels must replay the reference bit for bit."""
+
+    def _cases(self):
+        """(graph, cap) pairs covering every kernel branch: unmasked keys
+        with round-one argmax reuse, a binding weight cap (masked keys +
+        compacted two-hop argmax), and the star-graph stall."""
+        grid = PartGraph.from_matrix(grid2d(12, 12), "unit")
+        power = PartGraph.from_matrix(rmat(9, 6, seed=3), "nnz")
+        yield grid, None
+        yield grid, grid.total_weight() * 0.25
+        yield power, power.total_weight() * 0.25
+        yield power, np.array([3.0])  # binds: exercises the cap-mask path
+        yield _star(40), None
+
+    def test_matching_bit_identical(self):
+        for g, cap in self._cases():
+            out = {
+                k: handshake_matching(
+                    g, np.random.default_rng(7), max_vertex_weight=cap, kernel=k
+                )
+                for k in COARSEN_KERNELS
+            }
+            assert np.array_equal(out["reference"], out["vector"])
+
+    def test_contract_bit_identical(self):
+        for g, cap in self._cases():
+            match = handshake_matching(
+                g, np.random.default_rng(1), max_vertex_weight=cap
+            )
+            ref_g, ref_c = contract(g, match, kernel="reference")
+            vec_g, vec_c = contract(g, match, kernel="vector")
+            assert np.array_equal(ref_c, vec_c)
+            assert _graphs_equal(ref_g, vec_g)
+
+    def test_coarsen_to_stack_bit_identical(self, small_rmat):
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        stacks = {
+            k: coarsen_to(g, 50, np.random.default_rng(0), kernel=k)
+            for k in COARSEN_KERNELS
+        }
+        ref, vec = stacks["reference"], stacks["vector"]
+        assert len(ref) == len(vec) > 1
+        for (gr, cr), (gv, cv) in zip(ref, vec):
+            assert _graphs_equal(gr, gv)
+            assert (cr is None and cv is None) or np.array_equal(cr, cv)
+
+    def test_contract_falls_back_on_inexact_weights(self, rng):
+        """Fractional edge weights void the exact-sum guarantee; the vector
+        dispatch must route to the reference kernel, not diverge."""
+        W = grid2d(6, 6).astype(np.float64)
+        W.data[:] = 0.1  # 0.1 is not exactly representable
+        g = PartGraph.from_scipy(W)
+        assert not g.exactly_summable_weights()
+        match = handshake_matching(g, np.random.default_rng(2))
+        ref_g, ref_c = contract(g, match, kernel="reference")
+        vec_g, vec_c = contract(g, match, kernel="vector")
+        assert np.array_equal(ref_c, vec_c)
+        assert _graphs_equal(ref_g, vec_g)
+
+    def test_use_kernel_switches_default(self):
+        assert _resolve_kernel(None) == "vector"
+        with use_kernel("reference"):
+            assert _resolve_kernel(None) == "reference"
+        assert _resolve_kernel(None) == "vector"
+
+    def test_unknown_kernel_rejected(self):
+        g = PartGraph.from_matrix(grid2d(3, 3), "unit")
+        with pytest.raises(ValueError, match="unknown coarsen kernel"):
+            handshake_matching(g, np.random.default_rng(0), kernel="bogus")
+        with pytest.raises(ValueError, match="unknown coarsen kernel"):
+            with use_kernel("bogus"):
+                pass  # pragma: no cover
+
+
+class TestCoarseningStalls:
+    """Early-stop paths: a stalled matching must terminate the level loop."""
+
+    def test_min_shrink_early_stop(self):
+        """A cap below any pair's combined weight blocks all matching, so
+        the first level does not shrink and coarsen_to returns only the
+        input graph."""
+        g = PartGraph.from_matrix(grid2d(8, 8), "unit")
+        levels = coarsen_to(
+            g, 4, np.random.default_rng(0), max_weight_fraction=0.02
+        )  # cap = 64 * 0.02 = 1.28 < 2
+        assert len(levels) == 1
+        assert levels[0][0] is g and levels[0][1] is None
+
+    def test_hub_matching_blocked_on_star(self):
+        """With nnz weights a star hub exceeds the cap against any leaf;
+        two-hop pairing must still collapse the leaves — identically in
+        both kernels."""
+        nleaves = 33
+        r = np.zeros(nleaves, dtype=np.int64)
+        c = np.arange(1, nleaves + 1, dtype=np.int64)
+        A = from_edges(r, c, (nleaves + 1, nleaves + 1), symmetrize=True)
+        g = PartGraph.from_matrix(A, "nnz")  # hub weight 33, leaves 1
+        cap = np.array([4.0])
+        out = {
+            k: handshake_matching(
+                g, np.random.default_rng(0), max_vertex_weight=cap, kernel=k
+            )
+            for k in COARSEN_KERNELS
+        }
+        assert np.array_equal(out["reference"], out["vector"])
+        match = out["vector"]
+        _check_matching(g, match)
+        assert match[0] == 0  # hub stays single: every pairing busts the cap
+        leaves = np.arange(1, nleaves + 1)
+        paired = (match[leaves] != leaves).sum()
+        assert paired >= nleaves - 1  # odd leaf count: at most one left over

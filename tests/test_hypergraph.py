@@ -5,7 +5,14 @@ import pytest
 
 from repro.graphs import from_edges
 from repro.partitioning import Hypergraph, hypergraph_recursive_bisection
-from repro.partitioning.hcoarsen import hcontract, similarity_graph
+from repro.partitioning.coarsen import COARSEN_KERNELS, handshake_matching
+from repro.partitioning.hcoarsen import (
+    _coarse_map,
+    _coarse_vwgt,
+    hcoarsen_to,
+    hcontract,
+    similarity_graph,
+)
 from repro.partitioning.hkway import multilevel_hypergraph_bisect
 from repro.partitioning.hrefine import fm_refine_hypergraph, hg_balance_allowance
 
@@ -76,6 +83,69 @@ class TestCoarsening:
         assert np.isclose(hgc.total_weight()[0], tiny_hg.total_weight()[0])
         assert hgc.n == 4
         assert cmap[0] == cmap[1]
+
+
+class TestHcoarsenKernels:
+    """Vector and reference hypergraph stages must be bit-identical."""
+
+    def test_similarity_graph_bit_identical(self, small_rmat):
+        hg = Hypergraph.from_matrix_column_net(small_rmat)
+        sims = {k: similarity_graph(hg, kernel=k) for k in COARSEN_KERNELS}
+        ref, vec = sims["reference"], sims["vector"]
+        assert np.array_equal(ref.xadj, vec.xadj)
+        assert np.array_equal(ref.adjncy, vec.adjncy)
+        assert np.array_equal(ref.adjwgt, vec.adjwgt)
+
+    def test_hcontract_bit_identical(self, small_rmat):
+        hg = Hypergraph.from_matrix_column_net(small_rmat)
+        sim = similarity_graph(hg)
+        match = handshake_matching(sim, np.random.default_rng(0))
+        out = {k: hcontract(hg, match, kernel=k) for k in COARSEN_KERNELS}
+        (ref, ref_c), (vec, vec_c) = out["reference"], out["vector"]
+        assert np.array_equal(ref_c, vec_c)
+        assert np.array_equal(ref.H.indptr, vec.H.indptr)
+        assert np.array_equal(ref.H.indices, vec.H.indices)
+        assert np.array_equal(ref.H.data, vec.H.data)
+        assert np.array_equal(ref.vwgt, vec.vwgt)
+        assert np.array_equal(ref.netwgt, vec.netwgt)
+
+    def test_hcoarsen_to_stack_bit_identical(self, small_powerlaw):
+        hg = Hypergraph.from_matrix_column_net(small_powerlaw)
+        stacks = {
+            k: hcoarsen_to(hg, 20, np.random.default_rng(0), kernel=k)
+            for k in COARSEN_KERNELS
+        }
+        ref, vec = stacks["reference"], stacks["vector"]
+        assert len(ref) == len(vec) > 1
+        for (hr, cr), (hv, cv) in zip(ref, vec):
+            assert np.array_equal(hr.H.indptr, hv.H.indptr)
+            assert np.array_equal(hr.H.indices, hv.H.indices)
+            assert np.array_equal(hr.vwgt, hv.vwgt)
+            assert (cr is None and cv is None) or np.array_equal(cr, cv)
+
+    def test_coarse_vwgt_bincount_matches_add_at(self, small_rmat):
+        """The per-constraint bincount histogram is bit-identical to the
+        former np.add.at accumulation (both sum in vertex order)."""
+        hg = Hypergraph.from_matrix_column_net(small_rmat)
+        sim = similarity_graph(hg)
+        match = handshake_matching(sim, np.random.default_rng(1))
+        cmap, nc = _coarse_map(match)
+        got = _coarse_vwgt(hg, cmap, nc)
+        expect = np.zeros((nc, hg.ncon))
+        np.add.at(expect, cmap, hg.vwgt)
+        assert np.array_equal(got, expect)
+
+    def test_empty_similarity_graph_stalls_coarsening(self):
+        """All-singleton nets leave no usable similarity edges: both
+        kernels return the empty graph and hcoarsen_to stops at level 0."""
+        import scipy.sparse as sp
+
+        hg = Hypergraph.from_matrix_column_net(sp.identity(8, format="csr"))
+        for k in COARSEN_KERNELS:
+            sim = similarity_graph(hg, kernel=k)
+            assert sim.xadj[-1] == 0
+            levels = hcoarsen_to(hg, 2, np.random.default_rng(0), kernel=k)
+            assert len(levels) == 1
 
 
 class TestHypergraphFM:

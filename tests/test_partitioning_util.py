@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.partitioning._util import check_part_vector, segment_argmax, segment_sum
+from repro.partitioning._util import (
+    check_part_vector,
+    gather_csr_slots,
+    gather_slices,
+    segment_argmax,
+    segment_argmax_last,
+    segment_sum,
+)
 
 
 @st.composite
@@ -39,6 +46,42 @@ class TestSegmentArgmax:
         assert out.tolist() == [-1, -1]
 
 
+class TestSegmentArgmaxLast:
+    """segment_argmax_last is the reduceat twin of the lexsort argmax; the
+    matching kernels' bit-identity rests on the two never disagreeing."""
+
+    @given(segments())
+    @settings(max_examples=100, deadline=None)
+    def test_identical_to_lexsort_form(self, data):
+        vals, xadj = data
+        assert np.array_equal(segment_argmax_last(vals, xadj), segment_argmax(vals, xadj))
+
+    def test_ties_resolve_to_last_slot(self):
+        vals = np.array([5.0, 7.0, 7.0, 1.0, 1.0])
+        xadj = np.array([0, 3, 5])
+        got = segment_argmax_last(vals, xadj)
+        assert got.tolist() == [2, 4]
+        assert np.array_equal(got, segment_argmax(vals, xadj))
+
+    def test_all_neg_inf_segments(self):
+        """A fully masked segment still has an argmax (-inf == -inf): the
+        last slot — on which callers then apply their validity filter."""
+        vals = np.array([-np.inf, -np.inf, 3.0, -np.inf])
+        xadj = np.array([0, 2, 2, 4])
+        got = segment_argmax_last(vals, xadj)
+        assert got.tolist() == [1, -1, 2]
+        assert np.array_equal(got, segment_argmax(vals, xadj))
+
+    def test_empty_segments_give_minus_one(self):
+        vals = np.array([2.0, 4.0])
+        xadj = np.array([0, 0, 2, 2])
+        assert segment_argmax_last(vals, xadj).tolist() == [-1, 1, -1]
+
+    def test_empty_values(self):
+        out = segment_argmax_last(np.array([]), np.array([0, 0, 0]))
+        assert out.tolist() == [-1, -1]
+
+
 class TestSegmentSum:
     @given(segments())
     @settings(max_examples=100, deadline=None)
@@ -47,6 +90,60 @@ class TestSegmentSum:
         got = segment_sum(vals, xadj)
         for i in range(len(xadj) - 1):
             assert np.isclose(got[i], vals[xadj[i]: xadj[i + 1]].sum())
+
+    def test_empty_segments_give_zero(self):
+        vals = np.array([1.0, 2.0, 3.0])
+        xadj = np.array([0, 0, 3, 3, 3])
+        assert segment_sum(vals, xadj).tolist() == [0.0, 6.0, 0.0, 0.0]
+
+    def test_empty_values(self):
+        assert segment_sum(np.array([]), np.array([0, 0])).tolist() == [0.0]
+
+
+class TestGatherSlices:
+    def _csr(self):
+        indptr = np.array([0, 2, 2, 5, 6])
+        indices = np.array([10, 11, 20, 21, 22, 30])
+        return indptr, indices
+
+    def test_matches_concatenation(self):
+        indptr, indices = self._csr()
+        rows = np.array([2, 0, 2])
+        got = gather_slices(indptr, indices, rows)
+        expect = np.concatenate(
+            [indices[indptr[r]: indptr[r + 1]] for r in rows]
+        )
+        assert np.array_equal(got, expect)
+
+    def test_single_row(self):
+        indptr, indices = self._csr()
+        assert gather_slices(indptr, indices, np.array([3])).tolist() == [30]
+
+    def test_empty_rows_and_empty_result(self):
+        indptr, indices = self._csr()
+        assert len(gather_slices(indptr, indices, np.array([], dtype=np.int64))) == 0
+        assert len(gather_slices(indptr, indices, np.array([1]))) == 0
+
+
+class TestGatherCsrSlots:
+    def _csr(self):
+        return np.array([0, 2, 2, 5, 6])
+
+    def test_slots_and_subindptr(self):
+        indptr = self._csr()
+        slots, sub = gather_csr_slots(indptr, np.array([2, 1, 0]))
+        assert slots.tolist() == [2, 3, 4, 0, 1]
+        assert sub.tolist() == [0, 3, 3, 5]
+
+    def test_single_row(self):
+        slots, sub = gather_csr_slots(self._csr(), np.array([3]))
+        assert slots.tolist() == [5]
+        assert sub.tolist() == [0, 1]
+
+    def test_empty_rows(self):
+        slots, sub = gather_csr_slots(self._csr(), np.array([], dtype=np.int64))
+        assert len(slots) == 0
+        assert sub.tolist() == [0]
 
 
 class TestCheckPartVector:

@@ -86,6 +86,20 @@ class TestKernelIdentity:
     def test_kernel_registry(self):
         assert FM_KERNELS == ("vector", "reference")
 
+    def test_mirror_threshold_paths_identical(self, small_rmat, monkeypatch):
+        """Above _MIRROR_SLOTS the vector passes skip the full Python-list
+        adjacency mirrors and slice-convert per move; both paths must make
+        identical moves."""
+        from repro.partitioning import refine
+
+        g = PartGraph.from_matrix(small_rmat, "nnz")
+        part0 = (np.random.default_rng(3).random(g.n) < 0.5).astype(np.int64)
+        with_mirrors = fm_refine(g, part0, kernel="vector")
+        monkeypatch.setattr(refine, "_MIRROR_SLOTS", 1)  # force the big-graph path
+        g2 = PartGraph.from_matrix(small_rmat, "nnz")  # fresh memoized state
+        without_mirrors = fm_refine(g2, part0, kernel="vector")
+        assert np.array_equal(with_mirrors, without_mirrors)
+
 
 class TestFMRollback:
     """Hill climbing must roll every speculative move back when no prefix
