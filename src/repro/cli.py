@@ -23,6 +23,13 @@ once on a workstation, reuse for many analyses:
     ``run`` replays one seeded plan against one layout and prints the
     event trace; ``campaign`` sweeps fail-stop rates across layouts
     (see :mod:`repro.runtime.faults`).
+``serve --socket PATH [--http PORT]``
+    Long-lived matvec server: compiled engines stay resident behind an
+    LRU, concurrent matvecs coalesce into batched ``spmm`` calls, cold
+    partitions run on a resilient worker pool (see :mod:`repro.serve`).
+``loadgen MATRIX --socket PATH``
+    Closed-loop load generator against a running server; reports
+    throughput, latency percentiles and bitwise divergences.
 
 Every subcommand that uses randomness (partitioning, fault schedules,
 solver start vectors) takes the same ``--seed`` flag; one seed makes the
@@ -292,6 +299,72 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import MatvecServer, ServeConfig
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        http_port=args.http,
+        max_batch=args.max_batch,
+        batch_deadline_ms=args.deadline_ms,
+        max_engines=args.max_engines,
+        max_resident_bytes=(
+            int(args.max_resident_mb * 1024 * 1024) if args.max_resident_mb else None
+        ),
+        partition_timeout_s=args.partition_timeout,
+        partition_retries=args.partition_retries,
+        pool_workers=args.jobs if args.jobs else 1,
+        cache_dir=args.cache_dir,
+        allow_fault_injection=args.allow_fault_injection,
+        preload=tuple(args.preload or ()),
+        default_seed=args.seed,
+    )
+    server = MatvecServer(config)
+
+    def on_started(srv: MatvecServer) -> None:
+        print(f"serving on {config.socket_path}")
+        if srv.http_port is not None:
+            print(f"http on 127.0.0.1:{srv.http_port}")
+        for ref in config.preload:
+            print(f"preloaded {ref}")
+
+    try:
+        asyncio.run(server.serve(on_started=on_started))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from .serve import run_loadgen
+
+    result = run_loadgen(
+        args.socket,
+        args.matrix,
+        method=args.method,
+        procs=args.procs,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        requests_per_client=args.requests,
+        check=not args.no_check,
+        encoding=args.encoding,
+    )
+    d = result.as_dict()
+    width = max(len(k) for k in d if k != "batch_sizes")
+    for k, v in d.items():
+        if k != "batch_sizes":
+            print(f"{k:<{width}}  {v}")
+    if result.batch_sizes:
+        sizes = ", ".join(f"{k}x{v}" for k, v in sorted(result.batch_sizes.items()))
+        print(f"{'batch_sizes':<{width}}  {sizes}")
+    if result.errors or result.divergences:
+        print("FAILED: errors or bitwise divergences observed")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="2D Cartesian graph partitioning toolkit (SC13 reproduction)"
@@ -413,6 +486,53 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[0.0, 0.02, 0.05],
                    help="fail-stop rates to sweep (default: 0 0.02 0.05)")
     f.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "serve", help="long-lived batched matvec server (see DESIGN.md §12)",
+        parents=[seeded, jobbed],
+    )
+    p.add_argument("--socket", required=True, help="unix socket path to listen on")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="also listen for HTTP POST /rpc on 127.0.0.1:PORT "
+                        "(0 = ephemeral)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="matvecs coalesced per spmm flush (default: 16)")
+    p.add_argument("--deadline-ms", type=float, default=2.0,
+                   help="max wait for a batch to fill before flushing "
+                        "(default: 2.0)")
+    p.add_argument("--max-engines", type=int, default=8,
+                   help="resident compiled engines before LRU eviction")
+    p.add_argument("--max-resident-mb", type=float, default=None,
+                   help="optional byte budget for resident engines")
+    p.add_argument("--partition-timeout", type=float, default=300.0,
+                   help="per-request timeout for a cold pool partition (s)")
+    p.add_argument("--partition-retries", type=int, default=2,
+                   help="retries after a worker death or timeout (default: 2)")
+    p.add_argument("--cache-dir", help="partition cache (default: $REPRO_CACHE_DIR)")
+    p.add_argument("--preload", nargs="+", metavar="MATRIX",
+                   help="matrices to partition and compile before accepting load")
+    p.add_argument("--allow-fault-injection", action="store_true",
+                   help="honor fault:{kill_worker} requests (tests/benches only)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="closed-loop load generator against a running server",
+        parents=[seeded],
+    )
+    p.add_argument("matrix")
+    p.add_argument("--socket", required=True, help="server unix socket path")
+    p.add_argument("--method", default="2d-gp")
+    p.add_argument("-p", "--procs", type=int, default=16)
+    p.add_argument("-c", "--concurrency", type=int, default=16,
+                   help="concurrent closed-loop sessions (default: 16)")
+    p.add_argument("-n", "--requests", type=int, default=50,
+                   help="timed requests per session (default: 50)")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the bitwise divergence check against a local "
+                        "reference engine")
+    p.add_argument("--encoding", choices=("bin", "b64", "list"), default="bin",
+                   help="vector wire encoding (default: bin)")
+    p.set_defaults(fn=_cmd_loadgen)
     return parser
 
 

@@ -45,8 +45,15 @@ from __future__ import annotations
 import heapq
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
-from threading import Thread
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    wait,
+)
+from threading import Lock, Thread
 
 import numpy as np
 
@@ -63,6 +70,8 @@ __all__ = [
     "parallel_hypergraph_recursive_bisection",
     "parallel_partition_sweep",
     "schedule_makespan",
+    "ResilientPool",
+    "PoolTaskFailed",
 ]
 
 
@@ -91,6 +100,122 @@ def parallel_map(fn, items, jobs: int | None = None, executor: Executor | None =
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=min(njobs, len(items))) as pool:
         return list(pool.map(fn, items))
+
+
+# ---------------------------------------------------------------------------
+# resilient one-shot pool (serve cold path)
+# ---------------------------------------------------------------------------
+
+
+class PoolTaskFailed(RuntimeError):
+    """A :meth:`ResilientPool.run` task exhausted its retry budget.
+
+    ``attempts`` is the number of attempts made; ``causes`` the short
+    description of each attempt's failure, in order — so a server can put
+    an honest story in its degraded-path response.
+    """
+
+    def __init__(self, message: str, attempts: int, causes: list[str]):
+        super().__init__(message)
+        self.attempts = attempts
+        self.causes = causes
+
+
+class ResilientPool:
+    """Process pool for one-shot tasks that survives worker death.
+
+    ``ProcessPoolExecutor`` has all-or-nothing failure semantics: one
+    worker dying (OOM kill, segfault, fault injection) breaks the whole
+    executor and every pending future. A long-lived server cannot accept
+    that, so this wrapper rebuilds the pool and retries the task, a
+    bounded number of times, and enforces a per-task timeout by the only
+    means an abandoned process task allows — discarding the pool. Each
+    broken-pool incident is counted in :attr:`deaths` so callers can
+    price the recovery (:func:`repro.runtime.faults.recovery_stats`).
+
+    The task callable receives the attempt index as its final positional
+    argument; deterministic tasks ignore it, fault-injection tasks use it
+    to die only on attempt 0 (which is what makes "a killed worker is
+    retried and completes" testable).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        max_retries: int = 2,
+        mp_context: str | None = None,
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self._max_workers = max_workers
+        self._max_retries = max_retries
+        #: multiprocessing start method ("spawn" for pools created from
+        #: threaded processes like the serve event loop; None = platform
+        #: default, which is what the batch drivers above use)
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = Lock()
+        #: broken-pool incidents observed (worker death, abandoned timeout)
+        self.deaths = 0
+        self.retries = 0
+
+    def _checkout(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                ctx = None
+                if self._mp_context is not None:
+                    import multiprocessing
+
+                    ctx = multiprocessing.get_context(self._mp_context)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers, mp_context=ctx
+                )
+            return self._pool
+
+    def _discard(self, pool: ProcessPoolExecutor) -> None:
+        """Drop *pool* (broken or hosting an abandoned task) for rebuild."""
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+            self.deaths += 1
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def run(self, fn, *args, timeout: float | None = None, retries: int | None = None):
+        """Run ``fn(*args, attempt)`` in a worker; retry on death/timeout.
+
+        Raises :class:`PoolTaskFailed` once the budget (``retries`` + 1
+        attempts, default from the constructor) is spent. Exceptions the
+        task itself raises are *not* retried — they are deterministic and
+        would fail identically again — only infrastructure failures are.
+        """
+        attempts = (self._max_retries if retries is None else int(retries)) + 1
+        causes: list[str] = []
+        for attempt in range(attempts):
+            pool = self._checkout()
+            try:
+                return pool.submit(fn, *args, attempt).result(timeout=timeout)
+            except BrokenExecutor:
+                causes.append(f"attempt {attempt}: worker died")
+                self._discard(pool)
+            except FutureTimeoutError:
+                causes.append(f"attempt {attempt}: timed out after {timeout}s")
+                self._discard(pool)
+            if attempt + 1 < attempts:
+                self.retries += 1
+        raise PoolTaskFailed(
+            f"task failed after {attempts} attempt(s): {'; '.join(causes)}",
+            attempts,
+            causes,
+        )
+
+    def shutdown(self) -> None:
+        """Release the worker processes (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 # ---------------------------------------------------------------------------

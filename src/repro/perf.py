@@ -37,7 +37,14 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-__all__ = ["PhaseProfiler", "PhaseStat", "phase", "profile", "active_profiler"]
+__all__ = [
+    "PhaseProfiler",
+    "PhaseStat",
+    "SpanRecorder",
+    "phase",
+    "profile",
+    "active_profiler",
+]
 
 
 @dataclass
@@ -135,6 +142,50 @@ class PhaseProfiler:
         lines = [head, "-" * len(head)]
         lines += [f"{r[0]:<{width}} {r[1]} {r[2]} {r[3]}" for r in rows]
         return "\n".join(lines)
+
+
+class SpanRecorder:
+    """Wall-clock spans of one request's pipeline, exported per request.
+
+    The serve layer (:mod:`repro.serve`) attaches one recorder to every
+    request and times its three stations — ``queue`` (arrival to batch
+    admission), ``batch`` (waiting for the micro-batch to fill or its
+    deadline to fire) and ``compute`` (the shared ``spmm`` flush) — then
+    ships the spans back in the response metadata, so a client can see
+    where its latency went without server-side log digging. Unlike
+    :class:`PhaseProfiler` (one global collector, nested phases), a
+    recorder is a per-request value object: many requests record
+    concurrently without sharing state.
+    """
+
+    __slots__ = ("spans",)
+
+    def __init__(self) -> None:
+        #: insertion-ordered mapping ``name -> accumulated seconds``
+        self.spans: dict[str, float] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate *seconds* under *name* (repeat names sum)."""
+        self.spans[name] = self.spans.get(name, 0.0) + float(seconds)
+
+    def mark_since(self, name: str, t0: float) -> float:
+        """Record the span from perf-counter time *t0* to now; return now."""
+        now = time.perf_counter()
+        self.add(name, now - t0)
+        return now
+
+    @contextmanager
+    def span(self, name: str):
+        """Context manager form of :meth:`mark_since`."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def as_millis(self, ndigits: int = 4) -> dict[str, float]:
+        """JSON-friendly view in milliseconds (response-metadata unit)."""
+        return {k: round(v * 1e3, ndigits) for k, v in self.spans.items()}
 
 
 def active_profiler() -> PhaseProfiler | None:

@@ -157,6 +157,23 @@ class SpmvEngine:
         self._nprocs = p
         self._abft: tuple[sp.csr_matrix, sp.csr_matrix, sp.csr_matrix] | None = None
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the compiled operators.
+
+        The residency layer (:mod:`repro.serve.residency`) budgets its LRU
+        by this number: the two CSR operators dominate a resident engine's
+        footprint, the lazily built ABFT operators are counted only once
+        they exist, and Python object overhead is ignored as noise.
+        """
+        total = self._slot_rank.nbytes
+        ops = [self._local, self._fold]
+        if self._abft is not None:
+            ops.extend(self._abft[:2])
+        for op in ops:
+            total += op.data.nbytes + op.indices.nbytes + op.indptr.nbytes
+        return int(total)
+
     # -- ABFT checksums ----------------------------------------------------
 
     def _abft_operators(self):

@@ -1,0 +1,48 @@
+"""Partition-as-a-service: a long-lived batched matvec server.
+
+The paper's economic argument is amortization — pay for a good 2D
+partition once, reuse it across many matrix computations. Every other
+entry point in this repo is a one-shot CLI that rebuilds state per call;
+this package is the long-lived counterpart:
+
+:mod:`~repro.serve.protocol`
+    JSON-line wire protocol (unix socket or HTTP) with an optional raw
+    binary frame for vectors, plus the synchronous client.
+:mod:`~repro.serve.residency`
+    Engine residency: compiled :class:`~repro.runtime.engine.SpmvEngine`
+    instances kept hot behind an LRU keyed by the same content-hash keys
+    as the on-disk partition cache.
+:mod:`~repro.serve.batching`
+    Micro-batching: concurrent matvec requests on one matrix coalesce
+    into a single ``spmm`` call, bit-identical per column to serial
+    per-request answers.
+:mod:`~repro.serve.server`
+    The asyncio server: request dispatch, cold-matrix partitioning over
+    a resilient worker pool with timeout/retry/degradation, fault
+    injection of worker death priced via :mod:`repro.runtime.faults`.
+:mod:`~repro.serve.loadgen`
+    Seeded closed-loop load generator producing the p50/p99/throughput
+    numbers ``benchmarks/bench_serve_load.py`` gates on.
+"""
+
+from .batching import MicroBatcher
+from .loadgen import LoadgenResult, run_loadgen
+from .protocol import ProtocolError, ServeClient, decode_vector, encode_vector
+from .residency import EngineResidency, ResidentEngine
+from .server import MatvecServer, ServeConfig, ServerHandle, start_in_thread
+
+__all__ = [
+    "EngineResidency",
+    "LoadgenResult",
+    "MatvecServer",
+    "MicroBatcher",
+    "ProtocolError",
+    "ResidentEngine",
+    "ServeClient",
+    "ServeConfig",
+    "ServerHandle",
+    "decode_vector",
+    "encode_vector",
+    "run_loadgen",
+    "start_in_thread",
+]

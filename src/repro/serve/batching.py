@@ -1,0 +1,113 @@
+"""Micro-batching: coalesce concurrent matvecs into one ``spmm`` call.
+
+The engine's block apply runs k right-hand sides through the two
+compiled operators for barely more than the cost of one
+(``BENCH_engine.json``: ~82x per-vector at k=64), and it guarantees
+column j of ``spmm(X)`` is **bit-identical** to ``spmv(X[:, j])`` — the
+CSR-times-dense kernel accumulates each row-column dot in the same
+stored-entry order as the matvec. That exactness is what makes batching
+an execution detail the client cannot observe (the contract
+``tests/test_serve.py`` and the load generator's divergence gate hold us
+to), and the per-vector amortization is what the throughput gate in
+``BENCH_serve.json`` measures.
+
+A batch flushes on whichever trigger fires first:
+
+* **size** — ``max_batch`` requests are waiting (the k the engine was
+  benchmarked at; beyond it the per-vector win flattens while latency
+  keeps growing);
+* **deadline** — ``deadline_s`` elapsed since the batch opened, so a
+  lone request never waits for company that is not coming.
+
+Flushes run inline on the event loop. That is deliberate: scipy's
+sparse kernels hold the GIL, so a thread pool would add handoff latency
+without adding overlap, and inline execution keeps the
+arrival -> batch -> compute -> respond ordering deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from ..perf import SpanRecorder
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Per-engine request coalescer (one per resident engine).
+
+    Lives entirely on the event loop thread: ``submit`` appends to the
+    open batch and every flush resolves the waiting futures in arrival
+    order.
+    """
+
+    def __init__(self, engine, max_batch: int = 16, deadline_s: float = 0.002):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if deadline_s < 0:
+            raise ValueError(f"deadline_s must be >= 0, got {deadline_s}")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.deadline_s = deadline_s
+        self._pending: list[tuple[np.ndarray, asyncio.Future, SpanRecorder, float]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        #: flush counters by trigger, and a batch-size histogram
+        self.flushes = {"size": 0, "deadline": 0, "drain": 0}
+        self.batch_sizes: dict[int, int] = {}
+        self.matvecs = 0
+
+    async def submit(
+        self, x: np.ndarray, recorder: SpanRecorder
+    ) -> tuple[np.ndarray, int]:
+        """Queue one matvec; await ``(y, batch_size)`` from the next flush."""
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._pending.append((x, fut, recorder, time.perf_counter()))
+        if len(self._pending) >= self.max_batch:
+            self._flush("size")
+        elif len(self._pending) == 1:
+            self._timer = loop.call_later(self.deadline_s, self._flush, "deadline")
+        return await fut
+
+    def drain(self) -> None:
+        """Flush whatever is pending now (graceful-shutdown path)."""
+        if self._pending:
+            self._flush("drain")
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _flush(self, cause: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        k = len(batch)
+        self.flushes[cause] += 1
+        self.batch_sizes[k] = self.batch_sizes.get(k, 0) + 1
+        self.matvecs += k
+        t0 = time.perf_counter()
+        try:
+            if k == 1:
+                Y = self.engine.spmv(batch[0][0])[:, None]
+            else:
+                X = np.stack([x for x, _, _, _ in batch], axis=1)
+                Y = self.engine.spmm(X)
+        except Exception as exc:  # pragma: no cover - engine failures are bugs
+            for _, fut, _, _ in batch:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        done = time.perf_counter()
+        for j, (_, fut, rec, t_enq) in enumerate(batch):
+            rec.add("batch", t0 - t_enq)
+            rec.add("compute", done - t0)
+            if not fut.done():  # client may have gone away mid-batch
+                fut.set_result((np.ascontiguousarray(Y[:, j]), k))

@@ -1,0 +1,232 @@
+"""Closed-loop load generator for the matvec server.
+
+Drives *concurrency* independent sessions, each a blocking
+:class:`~repro.serve.protocol.ServeClient` on its own thread issuing
+matvecs back-to-back — the open-loop arrival pattern a batching server
+actually sees, and the one that gives the micro-batcher distinct
+requests to coalesce. Numbers reported:
+
+* **throughput** — completed requests over the timed window (all
+  sessions start together on a barrier, the window closes when the last
+  one finishes);
+* **latency** — per-request wall time at the client, p50/p99/mean/max;
+* **divergences** — the correctness gate. Every request's answer is
+  compared ``np.array_equal`` (bitwise for float64) against a *reference
+  engine* the generator builds locally from the same partition cache, so
+  the server's batched ``spmm`` path is held to the serial ``spmv``
+  answer, bit for bit. Any nonzero count is a served-wrong-answer bug.
+
+Vectors come from a small seeded pool so the reference answers are
+precomputed once, not per request — checking is O(compare), and the pool
+is shared across sessions so coalesced batches genuinely mix clients.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .protocol import ProtocolError, ServeClient
+
+__all__ = ["LoadgenResult", "run_loadgen", "reference_engine"]
+
+_PARTITIONED_KINDS = ("gp", "hp", "gp-mc")
+
+
+def reference_engine(matrix: str, method: str, procs: int, seed: int):
+    """Build the serial-answer oracle: same cache, same layout, same bits.
+
+    Goes through :func:`repro.bench.harness.cached_rpart` exactly like the
+    server's cold path, so as long as generator and server see the same
+    cache directory (both honor ``$REPRO_CACHE_DIR``) the two engines are
+    built from identical partitions and their answers are bit-identical.
+    Returns ``(engine, n)``.
+    """
+    from ..bench.harness import cached_rpart
+    from ..generators.corpus import CORPUS, load_corpus_matrix
+    from ..graphs.csr import as_csr
+    from ..layouts import make_layout
+    from ..runtime import CAB, DistSparseMatrix
+
+    if matrix in CORPUS:
+        A = load_corpus_matrix(matrix)
+    else:
+        from ..io import read_matrix_market
+
+        A = read_matrix_market(matrix)
+    A = as_csr(A)
+    method = method.lower()
+    kind = method.partition("-")[2]
+    rpart = None
+    if kind in _PARTITIONED_KINDS:
+        rpart = cached_rpart(A, kind, procs, seed=seed)
+    layout = make_layout(method, A, procs, seed=seed, rpart=rpart)
+    dist = DistSparseMatrix(A, layout, CAB)
+    return dist.engine, A.shape[0]
+
+
+@dataclass
+class LoadgenResult:
+    """One load-generation run, summarized (see module docstring)."""
+
+    matrix: str
+    method: str
+    procs: int
+    concurrency: int
+    requests: int
+    errors: int
+    divergences: int
+    checked: bool
+    elapsed_seconds: float
+    throughput_rps: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+    batch_sizes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(k * v for k, v in self.batch_sizes.items())
+        count = sum(self.batch_sizes.values())
+        return total / count if count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "matrix": self.matrix,
+            "method": self.method,
+            "procs": self.procs,
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "errors": self.errors,
+            "divergences": self.divergences,
+            "checked": self.checked,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "mean_ms": round(self.mean_ms, 4),
+            "p50_ms": round(self.p50_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "max_ms": round(self.max_ms, 4),
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "batch_sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+        }
+
+
+def run_loadgen(
+    socket_path: str,
+    matrix: str,
+    method: str = "2d-gp",
+    procs: int = 16,
+    seed: int = 0,
+    concurrency: int = 16,
+    requests_per_client: int = 50,
+    vector_pool: int = 32,
+    check: bool = True,
+    encoding: str = "bin",
+    timeout: float = 600.0,
+) -> LoadgenResult:
+    """Run one closed-loop load test against a listening server.
+
+    Warms the target engine with a ``partition`` request first, so the
+    timed window measures steady-state serving, not the cold build.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if requests_per_client < 1:
+        raise ValueError(f"requests_per_client must be >= 1, got {requests_per_client}")
+
+    target = {"matrix": matrix, "method": method, "procs": procs, "seed": seed}
+    with ServeClient(socket_path, timeout=timeout) as warm:
+        resp, _ = warm.request({"op": "partition", **target})
+        if not resp.get("ok"):
+            raise ProtocolError(f"warm-up partition failed: {resp.get('error')}")
+        n = int(resp["n"])
+
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    pool = rng.standard_normal((vector_pool, n))
+    expected: list[np.ndarray] | None = None
+    if check:
+        # server warmed the cache above, so this reuses its partition bits
+        engine, n_ref = reference_engine(matrix, method, procs, seed)
+        if n_ref != n:
+            raise ProtocolError(f"reference n={n_ref} != server n={n}")
+        expected = [engine.spmv(pool[i]) for i in range(vector_pool)]
+
+    barrier = threading.Barrier(concurrency + 1)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    batch_sizes: dict[int, int] = {}
+    totals = {"requests": 0, "errors": 0, "divergences": 0}
+    failures: list[BaseException] = []
+
+    def session(client_id: int) -> None:
+        pick = np.random.default_rng(1000 + client_id)
+        lat: list[float] = []
+        sizes: dict[int, int] = {}
+        counts = {"requests": 0, "errors": 0, "divergences": 0}
+        try:
+            with ServeClient(socket_path, timeout=timeout) as client:
+                # one untimed request primes the connection end to end
+                client.request({"op": "matvec", **target}, x=pool[0], encoding=encoding)
+                barrier.wait()
+                for _ in range(requests_per_client):
+                    idx = int(pick.integers(vector_pool))
+                    t0 = time.perf_counter()
+                    resp, y = client.request(
+                        {"op": "matvec", **target}, x=pool[idx], encoding=encoding
+                    )
+                    lat.append(time.perf_counter() - t0)
+                    counts["requests"] += 1
+                    if not resp.get("ok") or y is None:
+                        counts["errors"] += 1
+                        continue
+                    bsz = int(resp.get("batch_size", 0))
+                    sizes[bsz] = sizes.get(bsz, 0) + 1
+                    if expected is not None and not np.array_equal(y, expected[idx]):
+                        counts["divergences"] += 1
+        except BaseException as exc:
+            failures.append(exc)
+            barrier.abort()  # don't leave siblings waiting on a dead session
+        finally:
+            with lock:
+                latencies.extend(lat)
+                for k, v in sizes.items():
+                    batch_sizes[k] = batch_sizes.get(k, 0) + v
+                for k in totals:
+                    totals[k] += counts[k]
+
+    threads = [
+        threading.Thread(target=session, args=(i,), name=f"loadgen-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t_start = time.perf_counter()
+    for t in threads:
+        t.join(timeout)
+    elapsed = time.perf_counter() - t_start
+    if failures:
+        raise failures[0]
+
+    lat_ms = np.asarray(latencies) * 1e3 if latencies else np.zeros(1)
+    return LoadgenResult(
+        matrix=matrix,
+        method=method,
+        procs=procs,
+        concurrency=concurrency,
+        requests=totals["requests"],
+        errors=totals["errors"],
+        divergences=totals["divergences"],
+        checked=check,
+        elapsed_seconds=elapsed,
+        throughput_rps=totals["requests"] / elapsed if elapsed > 0 else 0.0,
+        mean_ms=float(lat_ms.mean()),
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+        max_ms=float(lat_ms.max()),
+        batch_sizes=batch_sizes,
+    )

@@ -1,0 +1,212 @@
+"""Wire protocol of the matvec server: JSON lines + optional binary frame.
+
+One message is one JSON object on one ``\\n``-terminated line. Requests
+carry ``op`` (``health``, ``stats``, ``matvec``, ``partition``,
+``shutdown``) and an optional client-chosen ``id`` that the response
+echoes; responses carry ``ok`` plus op-specific fields, or ``ok: false``
+with ``error``.
+
+Vectors travel in one of three interchangeable encodings, all exact for
+float64 (the first two because Python's ``repr``/``float`` round-trip
+shortest decimal forms, the last trivially):
+
+``"x": [..]``
+    A plain JSON array — the debugging/interop form.
+``"x_b64": "..."``
+    Base64 of the little-endian float64 buffer.
+``"bin": <nbytes>``
+    The *binary frame* extension: the JSON line announces a payload of
+    ``nbytes`` raw little-endian float64 bytes that immediately follow
+    the newline. This is the fast path — no escaping, no base64 blowup —
+    and the load generator's default. Responses mirror the encoding of
+    their request.
+
+The same messages run over a unix stream socket (framing as described)
+or over HTTP (``POST /rpc`` with the JSON object as the body, base64 or
+array vectors only — HTTP clients tend to be browsers and curl, which
+prefer self-contained bodies).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ProtocolError",
+    "MAX_LINE_BYTES",
+    "encode_vector",
+    "decode_vector",
+    "encode_message",
+    "read_message",
+    "ServeClient",
+]
+
+#: Stream-reader line limit: a 1M-entry float64 vector in base64 plus JSON
+#: overhead. Binary frames bypass this entirely.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed request or response (bad JSON, bad frame, bad field)."""
+
+
+def encode_vector(msg: dict, y: np.ndarray, encoding: str) -> bytes:
+    """Finish *msg* with vector *y* in *encoding*; return the wire bytes.
+
+    ``encoding`` is ``"list"``, ``"b64"`` or ``"bin"`` (the request's own
+    encoding, so responses mirror it).
+    """
+    y = np.ascontiguousarray(y, dtype=np.float64)
+    if encoding == "list":
+        msg["y"] = y.tolist()
+        payload = b""
+    elif encoding == "b64":
+        msg["y_b64"] = base64.b64encode(y.tobytes()).decode("ascii")
+        payload = b""
+    elif encoding == "bin":
+        payload = y.tobytes()
+        msg["bin"] = len(payload)
+    else:
+        raise ProtocolError(f"unknown vector encoding {encoding!r}")
+    return encode_message(msg) + payload
+
+
+def decode_vector(msg: dict, payload: bytes | None, n: int | None = None):
+    """Extract ``(vector, encoding)`` from a decoded message.
+
+    Returns ``(None, "bin")``-style pairs absent a vector field. *n*, when
+    given, validates the length (the server knows the matrix dimension).
+    """
+    x = None
+    encoding = "bin"
+    if payload:
+        if len(payload) % 8:
+            raise ProtocolError(f"binary frame of {len(payload)} bytes is not float64")
+        x = np.frombuffer(payload, dtype="<f8").astype(np.float64, copy=False)
+    elif "x_b64" in msg or "y_b64" in msg:
+        raw = base64.b64decode(msg.get("x_b64") or msg.get("y_b64"))
+        if len(raw) % 8:
+            raise ProtocolError("base64 vector is not a float64 buffer")
+        x = np.frombuffer(raw, dtype="<f8").astype(np.float64, copy=False)
+        encoding = "b64"
+    elif "x" in msg or "y" in msg:
+        x = np.asarray(msg.get("x") if "x" in msg else msg["y"], dtype=np.float64)
+        if x.ndim != 1:
+            raise ProtocolError(f"vector must be 1-D, got shape {x.shape}")
+        encoding = "list"
+    if x is not None and n is not None and len(x) != n:
+        raise ProtocolError(f"vector length {len(x)} != matrix dimension {n}")
+    return x, encoding
+
+
+def encode_message(msg: dict) -> bytes:
+    """One JSON line (no binary payload appended)."""
+    return json.dumps(msg, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+async def read_message(reader) -> tuple[dict, bytes | None] | None:
+    """Read one framed message from an asyncio stream reader.
+
+    Returns ``(msg, payload)`` — *payload* is the raw binary frame when
+    the line announced one — or ``None`` on clean EOF before any bytes.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError as exc:  # line longer than the stream limit
+        raise ProtocolError(f"request line exceeds limit: {exc}") from exc
+    if not line:
+        return None
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON line: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(msg).__name__}")
+    payload = None
+    nbytes = msg.get("bin", 0)
+    if nbytes:
+        if not isinstance(nbytes, int) or nbytes < 0 or nbytes > MAX_LINE_BYTES:
+            raise ProtocolError(f"bad binary frame size {nbytes!r}")
+        payload = await reader.readexactly(nbytes)
+    return msg, payload
+
+
+class ServeClient:
+    """Blocking client for tests, the load generator and ``repro loadgen``.
+
+    One client wraps one connection; it is not thread-safe (the load
+    generator opens one client per concurrent session, which is also what
+    gives the server distinct requests to coalesce).
+    """
+
+    def __init__(self, socket_path: str, timeout: float = 60.0):
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(
+        self, msg: dict, x: np.ndarray | None = None, encoding: str = "bin"
+    ) -> tuple[dict, np.ndarray | None]:
+        """Send one request; block for its response.
+
+        *x*, when given, rides in *encoding* (``bin``/``b64``/``list``).
+        Returns ``(response, vector)`` with the response's vector decoded
+        from whichever encoding the server chose (it mirrors ours).
+        """
+        msg = dict(msg)
+        if x is not None:
+            x = np.ascontiguousarray(x, dtype=np.float64)
+            if encoding == "bin":
+                msg["bin"] = x.nbytes
+            elif encoding == "b64":
+                msg["x_b64"] = base64.b64encode(x.tobytes()).decode("ascii")
+            elif encoding == "list":
+                msg["x"] = x.tolist()
+            else:
+                raise ProtocolError(f"unknown vector encoding {encoding!r}")
+        data = encode_message(msg)
+        if x is not None and encoding == "bin":
+            data += x.tobytes()
+        self._sock.sendall(data)
+        return self._read_response()
+
+    def _read_response(self) -> tuple[dict, np.ndarray | None]:
+        line = self._rfile.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ProtocolError("connection closed mid-request")
+        try:
+            resp: dict[str, Any] = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"bad JSON response: {exc}") from exc
+        payload = None
+        nbytes = resp.get("bin", 0)
+        if nbytes:
+            chunks = []
+            remaining = int(nbytes)
+            while remaining:
+                chunk = self._rfile.read(remaining)
+                if not chunk:
+                    raise ProtocolError("connection closed mid-payload")
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            payload = b"".join(chunks)
+        y, _ = decode_vector(resp, payload)
+        return resp, y

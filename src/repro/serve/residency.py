@@ -1,0 +1,151 @@
+"""Engine residency: hot matrices stay compiled behind an LRU.
+
+The expensive artefacts of serving a matvec are, in cost order: the
+partition (seconds — amortized by the on-disk partition cache), the
+:class:`~repro.runtime.distmatrix.DistSparseMatrix` build and its
+compiled :class:`~repro.runtime.engine.SpmvEngine` (tens of
+milliseconds), and the multiply itself (sub-millisecond). A server that
+rebuilt any of the first two per request would be paying the one-shot
+CLI tax this package exists to remove, so compiled engines stay resident
+here, keyed by ``(matrix content hash, method, procs, seed)`` — the same
+content-hash scheme as the partition cache
+(:func:`repro.bench.harness.cached_rpart` uses
+``{hash}_{kind}_k{nparts}_s{seed}``), so a resident engine and its
+cached rpart always name the same partition.
+
+Eviction is least-recently-used, bounded by engine count and optionally
+by resident bytes (:attr:`SpmvEngine.nbytes
+<repro.runtime.engine.SpmvEngine.nbytes>`). Eviction only forgets — the
+partition survives on disk, so re-admission costs an engine compile, not
+a re-partition.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import cycle guard: runtime imports stay lazy
+    from ..runtime.distmatrix import DistSparseMatrix
+    from ..runtime.engine import SpmvEngine
+
+__all__ = ["EngineKey", "ResidentEngine", "EngineResidency"]
+
+
+@dataclass(frozen=True)
+class EngineKey:
+    """Identity of one resident engine (mirrors the partition-cache key)."""
+
+    matrix_hash: str
+    method: str
+    procs: int
+    seed: int
+
+    def __str__(self) -> str:
+        return f"{self.matrix_hash}_{self.method}_k{self.procs}_s{self.seed}"
+
+
+@dataclass
+class ResidentEngine:
+    """One hot entry: the compiled engine plus its provenance and stats."""
+
+    key: EngineKey
+    matrix: str  # display name the first admitting request used
+    dist: "DistSparseMatrix"
+    engine: "SpmvEngine"
+    batcher: object | None = None  # MicroBatcher, attached by the server
+    hits: int = 0
+    cold_partition_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.engine.n
+
+    @property
+    def nbytes(self) -> int:
+        return self.engine.nbytes
+
+    def as_dict(self) -> dict:
+        """JSON view for the ``stats`` op."""
+        return {
+            "key": str(self.key),
+            "matrix": self.matrix,
+            "n": self.n,
+            "procs": self.key.procs,
+            "method": self.key.method,
+            "seed": self.key.seed,
+            "nbytes": self.nbytes,
+            "hits": self.hits,
+            "cold_partition_seconds": round(self.cold_partition_seconds, 6),
+            "compile_seconds": round(self.compile_seconds, 6),
+        }
+
+
+class EngineResidency:
+    """LRU of :class:`ResidentEngine` bounded by count and bytes.
+
+    Not thread-safe by design: the server touches it only from the event
+    loop thread, which is the synchronization discipline of the whole
+    serve layer (compute may block the loop for a flush, admission may
+    not interleave).
+    """
+
+    def __init__(self, max_engines: int = 8, max_bytes: int | None = None):
+        if max_engines < 1:
+            raise ValueError(f"max_engines must be >= 1, got {max_engines}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_engines = max_engines
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[EngineKey, ResidentEngine] = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: EngineKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: EngineKey) -> ResidentEngine | None:
+        """Look up *key*, refreshing its recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            entry.hits += 1
+        return entry
+
+    def admit(self, entry: ResidentEngine) -> list[ResidentEngine]:
+        """Insert *entry*; return whatever was evicted to make room.
+
+        The newest entry is never evicted, even when it alone exceeds
+        ``max_bytes`` — a request for an oversized matrix should succeed
+        (and evict everything else) rather than thrash.
+        """
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        evicted: list[ResidentEngine] = []
+        while len(self._entries) > self.max_engines:
+            evicted.append(self._entries.popitem(last=False)[1])
+        if self.max_bytes is not None:
+            while len(self._entries) > 1 and self.resident_bytes() > self.max_bytes:
+                evicted.append(self._entries.popitem(last=False)[1])
+        self.evictions += len(evicted)
+        return evicted
+
+    def evict(self, key: EngineKey) -> ResidentEngine | None:
+        """Forcibly drop *key* (explicit eviction; counts in the stats)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.evictions += 1
+        return entry
+
+    def resident_bytes(self) -> int:
+        """Total engine bytes currently resident."""
+        return sum(e.nbytes for e in self._entries.values())
+
+    def entries(self) -> list[ResidentEngine]:
+        """Entries in LRU order (oldest first) — for the ``stats`` op."""
+        return list(self._entries.values())

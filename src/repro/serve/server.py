@@ -1,0 +1,711 @@
+"""The asyncio matvec server: residency + batching + resilient cold path.
+
+One event-loop thread owns all mutable state (residency, batchers,
+counters); the only things that leave it are blocking builds (matrix
+loads, partitioning, engine compiles — pushed to worker threads or the
+partition process pool) and the compute of a batch flush (deliberately
+inline, see :mod:`~repro.serve.batching`). Request lifecycle:
+
+**warm matvec** (the common case the whole design optimizes)
+    decode -> residency hit -> micro-batch -> one ``spmm`` column ->
+    respond. Per-request span timings (``queue``/``batch``/``compute``)
+    ride back in the response metadata.
+
+**cold matvec / partition**
+    The engine key is ``(matrix hash, method, procs, seed)`` — identical
+    to the partition-cache key, so a cold engine first tries the on-disk
+    rpart. A true partition-cache miss is sharded to a
+    :class:`~repro.parallel.ResilientPool` worker with a per-request
+    timeout and bounded retry; concurrent requests for the same key
+    coalesce onto one build (single-flight). If the pool exhausts its
+    budget the server **degrades gracefully**: the partition runs on the
+    reference in-process path instead, the request still completes, and
+    the response says so.
+
+**worker death**
+    A killed partition worker (real death — the injection calls
+    ``os._exit`` in the child, only honored when the server was started
+    with ``allow_fault_injection``) breaks the pool; the pool rebuilds
+    and retries, and the completed request's response carries a recovery
+    event priced through :func:`repro.runtime.faults.recovery_stats` —
+    the same alpha-beta-gamma accounting the fault-tolerant runtime uses,
+    so "what does losing a partition worker cost" is answerable in the
+    same unit as every other number in this repo.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Event as ThreadEvent
+from threading import Thread
+
+import numpy as np
+
+from ..parallel import PoolTaskFailed, ResilientPool
+from ..perf import SpanRecorder
+from .batching import MicroBatcher
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_vector,
+    encode_message,
+    encode_vector,
+    read_message,
+)
+from .residency import EngineKey, EngineResidency, ResidentEngine
+
+__all__ = ["ServeConfig", "MatvecServer", "ServerHandle", "start_in_thread"]
+
+#: Layout kinds that require a partitioner run (vs. spatial methods).
+_PARTITIONED_KINDS = ("gp", "hp", "gp-mc")
+
+
+def _pool_start_method() -> str:
+    """Start method for the partition pool's workers.
+
+    ``fork`` is out: the pool is created from the server's event-loop
+    thread, and forking a threaded process can deadlock on locks the
+    forked copy will never see released. ``forkserver`` forks workers
+    from a clean single-threaded helper; ``spawn`` is the fallback where
+    it does not exist. Both re-import the parent's ``__main__`` for
+    pickling fidelity, which breaks when the server is embedded in a
+    process whose main module is not a real file (``python -c``, stdin,
+    a REPL) — for that case, drop the bogus ``__file__`` so the children
+    skip the re-import; our task function lives in this importable
+    module, and ``sys.path`` still propagates.
+    """
+    import multiprocessing
+    import sys
+
+    main = sys.modules.get("__main__")
+    main_file = getattr(main, "__file__", None)
+    if (
+        main is not None
+        and getattr(main, "__spec__", None) is None
+        and main_file is not None
+        and not os.path.exists(main_file)
+    ):
+        del main.__file__
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+def _partition_task(A, kind, nparts, seed, cache_dir, inject_kill, attempt):
+    """Pool-worker unit: one cold partition, written through the cache.
+
+    ``attempt`` is supplied by :meth:`ResilientPool.run`; fault injection
+    kills the worker process outright on attempt 0 — a real death, not an
+    exception, so the parent sees exactly what an OOM kill looks like.
+    """
+    if inject_kill and attempt == 0:
+        os._exit(3)
+    from ..bench.harness import cached_rpart
+
+    return cached_rpart(A, kind, nparts, seed=seed, cache_dir=Path(cache_dir))
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a server instance needs to know, in one picklable bag."""
+
+    socket_path: str
+    http_port: int | None = None  # None = unix socket only; 0 = ephemeral
+    max_batch: int = 16
+    batch_deadline_ms: float = 2.0
+    max_engines: int = 8
+    max_resident_bytes: int | None = None
+    default_method: str = "2d-gp"
+    default_procs: int = 16
+    default_seed: int = 0
+    partition_timeout_s: float = 300.0
+    partition_retries: int = 2
+    pool_workers: int = 1
+    cache_dir: str | None = None  # None = $REPRO_CACHE_DIR / default
+    allow_fault_injection: bool = False
+    preload: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_deadline_ms < 0:
+            raise ValueError("batch_deadline_ms must be >= 0")
+        if self.partition_retries < 0:
+            raise ValueError("partition_retries must be >= 0")
+
+
+@dataclass
+class _BuildOutcome:
+    """What one engine build wants the admitting request(s) to know."""
+
+    entry: ResidentEngine
+    meta: dict = field(default_factory=dict)
+
+
+class MatvecServer:
+    """Long-lived partition-as-a-service daemon (see module docstring)."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.residency = EngineResidency(
+            max_engines=config.max_engines, max_bytes=config.max_resident_bytes
+        )
+        self.pool = ResilientPool(
+            max_workers=config.pool_workers,
+            max_retries=config.partition_retries,
+            mp_context=_pool_start_method(),
+        )
+        self.counters = {
+            "requests": 0,
+            "matvec": 0,
+            "partition": 0,
+            "health": 0,
+            "stats": 0,
+            "errors": 0,
+            "degraded": 0,
+            "http_requests": 0,
+        }
+        self.fault_events: list[dict] = []
+        self._matrices: dict[str, tuple[str, object, str]] = {}
+        self._building: dict[EngineKey, asyncio.Task] = {}
+        self._started_at = time.time()
+        self._stop: asyncio.Event | None = None
+        self._servers: list[asyncio.base_events.Server] = []
+        #: actual HTTP port once listening (resolves http_port=0)
+        self.http_port: int | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def serve(self, on_started=None) -> None:
+        """Listen until a ``shutdown`` request (or :meth:`request_stop`)."""
+        self._stop = asyncio.Event()
+        sock_path = self.config.socket_path
+        Path(sock_path).parent.mkdir(parents=True, exist_ok=True)
+        if os.path.exists(sock_path):
+            os.unlink(sock_path)
+        unix_srv = await asyncio.start_unix_server(
+            self._handle_connection, path=sock_path, limit=MAX_LINE_BYTES
+        )
+        self._servers = [unix_srv]
+        if self.config.http_port is not None:
+            http_srv = await asyncio.start_server(
+                self._handle_http_connection,
+                host="127.0.0.1",
+                port=self.config.http_port,
+                limit=MAX_LINE_BYTES,
+            )
+            self.http_port = http_srv.sockets[0].getsockname()[1]
+            self._servers.append(http_srv)
+        try:
+            for ref in self.config.preload:
+                name, A, mhash = await self._load_matrix(ref)
+                await self._ensure_engine(
+                    name,
+                    A,
+                    mhash,
+                    self.config.default_method,
+                    self.config.default_procs,
+                    self.config.default_seed,
+                )
+            if on_started is not None:
+                on_started(self)
+            await self._stop.wait()
+        finally:
+            for entry in self.residency.entries():
+                if entry.batcher is not None:
+                    entry.batcher.drain()
+            for srv in self._servers:
+                srv.close()
+                await srv.wait_closed()
+            if os.path.exists(sock_path):
+                os.unlink(sock_path)
+            self.pool.shutdown()
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to wind down (thread-safe only via its loop)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    # -- matrix + engine admission ----------------------------------------
+
+    def _cache_dir(self) -> Path:
+        if self.config.cache_dir is not None:
+            p = Path(self.config.cache_dir)
+            p.mkdir(parents=True, exist_ok=True)
+            return p
+        from ..bench.harness import default_cache_dir
+
+        return default_cache_dir()
+
+    async def _load_matrix(self, ref: str) -> tuple[str, object, str]:
+        """Resolve *ref* (corpus name or file path) to ``(name, A, hash)``."""
+        cached = self._matrices.get(ref)
+        if cached is not None:
+            return cached
+
+        def load():
+            from ..bench.harness import _matrix_hash
+            from ..generators.corpus import CORPUS, load_corpus_matrix
+            from ..graphs.csr import as_csr
+
+            if ref in CORPUS:
+                A = load_corpus_matrix(ref)
+                name = ref
+            else:
+                path = Path(ref)
+                if not path.exists():
+                    raise ProtocolError(
+                        f"matrix {ref!r} is neither a corpus name nor a file"
+                    )
+                from ..io import read_matrix_market
+
+                A = read_matrix_market(path)
+                name = path.name
+            A = as_csr(A)
+            if A.shape[0] != A.shape[1]:
+                raise ProtocolError(f"square matrices only, got {A.shape}")
+            return name, A, _matrix_hash(A)
+
+        out = await asyncio.to_thread(load)
+        self._matrices[ref] = out
+        return out
+
+    async def _ensure_engine(
+        self,
+        name: str,
+        A,
+        mhash: str,
+        method: str,
+        procs: int,
+        seed: int,
+        fault_kill: bool = False,
+    ) -> _BuildOutcome:
+        """Residency hit, or single-flight build of the missing engine."""
+        key = EngineKey(mhash, method, procs, seed)
+        entry = self.residency.get(key)
+        if entry is not None:
+            return _BuildOutcome(entry, {"cold": False})
+        task = self._building.get(key)
+        if task is None:
+            task = asyncio.ensure_future(
+                self._build_engine(key, name, A, method, procs, seed, fault_kill)
+            )
+            self._building[key] = task
+            task.add_done_callback(lambda _t, k=key: self._building.pop(k, None))
+        return await task
+
+    def _pool_partition(self, A, kind, procs, seed, fault_kill) -> np.ndarray:
+        """Blocking: one cold partition through the resilient pool."""
+        return self.pool.run(
+            _partition_task,
+            A,
+            kind,
+            procs,
+            seed,
+            str(self._cache_dir()),
+            fault_kill,
+            timeout=self.config.partition_timeout_s,
+        )
+
+    async def _build_engine(
+        self, key: EngineKey, name: str, A, method: str, procs: int, seed: int,
+        fault_kill: bool,
+    ) -> _BuildOutcome:
+        meta: dict = {"cold": True, "degraded": False}
+        kind = method.partition("-")[2]
+        rpart = None
+        deaths_before = self.pool.deaths
+        t0 = time.perf_counter()
+        partition_seconds = 0.0
+        if kind in _PARTITIONED_KINDS:
+            # rpart cache entries are keyed by kind ("gp"), not layout
+            # method ("2d-gp"): 1d and 2d layouts share the same partition
+            cache_path = (
+                self._cache_dir() / f"{key.matrix_hash}_{kind}_k{procs}_s{seed}.npy"
+            )
+            from ..bench.harness import _load_cached_part, cached_rpart
+
+            if cache_path.exists():
+                rpart = await asyncio.to_thread(_load_cached_part, cache_path, A.shape[0])
+            if rpart is not None:
+                meta["partition_source"] = "cache"
+            else:
+                try:
+                    rpart = await asyncio.to_thread(
+                        self._pool_partition, A, kind, procs, seed, fault_kill
+                    )
+                    meta["partition_source"] = "pool"
+                except PoolTaskFailed as exc:
+                    # graceful degradation: the reference in-process path
+                    # always completes, and the response says what happened
+                    meta["degraded"] = True
+                    meta["degraded_causes"] = exc.causes
+                    self.counters["degraded"] += 1
+                    rpart = await asyncio.to_thread(
+                        cached_rpart, A, kind, procs, seed=seed,
+                        cache_dir=self._cache_dir(),
+                    )
+                    meta["partition_source"] = "inline-reference"
+            partition_seconds = time.perf_counter() - t0
+
+        def build():
+            from ..layouts import make_layout
+            from ..runtime import CAB, DistSparseMatrix
+
+            layout = make_layout(method, A, procs, seed=seed, rpart=rpart)
+            dist = DistSparseMatrix(A, layout, CAB)
+            dist.engine  # compile now, off the event loop
+            return dist
+
+        t1 = time.perf_counter()
+        dist = await asyncio.to_thread(build)
+        entry = ResidentEngine(
+            key=key,
+            matrix=name,
+            dist=dist,
+            engine=dist.engine,
+            cold_partition_seconds=partition_seconds,
+            compile_seconds=time.perf_counter() - t1,
+        )
+        entry.batcher = MicroBatcher(
+            dist.engine,
+            max_batch=self.config.max_batch,
+            deadline_s=self.config.batch_deadline_ms / 1e3,
+        )
+        deaths = self.pool.deaths - deaths_before
+        if deaths:
+            event = await asyncio.to_thread(
+                self._price_worker_death, dist, name, key, deaths
+            )
+            self.fault_events.append(event)
+            meta["worker_deaths"] = deaths
+            meta["recovery"] = event["recovery"]
+        for evicted in self.residency.admit(entry):
+            if evicted.batcher is not None:
+                evicted.batcher.drain()
+        meta["partition_seconds"] = round(partition_seconds, 6)
+        meta["compile_seconds"] = round(entry.compile_seconds, 6)
+        return _BuildOutcome(entry, meta)
+
+    def _price_worker_death(
+        self, dist, name: str, key: EngineKey, deaths: int
+    ) -> dict:
+        """Price a partition-worker death as a runtime recovery event.
+
+        The modeled analogue of losing a partition worker mid-build is a
+        fail-stop of one rank of the distribution the build produced:
+        :func:`repro.runtime.faults.recovery_stats` prices restoring that
+        rank's blocks and re-syncing its communication peers, which is the
+        repo's standard unit for "what did this failure cost".
+        """
+        from ..runtime.faults import recovery_stats
+
+        rec = recovery_stats(dist, failed_rank=0, strategy="spare")
+        return {
+            "kind": "worker-death",
+            "matrix": name,
+            "key": str(key),
+            "deaths": deaths,
+            "recovery": {
+                "strategy": rec.strategy,
+                "peers": rec.peers,
+                "restore_words": rec.restore_words,
+                "resync_words": rec.resync_words,
+                "modeled_seconds": rec.modeled_seconds,
+            },
+        }
+
+    # -- request dispatch --------------------------------------------------
+
+    async def _dispatch(self, msg: dict, payload: bytes | None) -> bytes:
+        """Route one decoded request; return the full wire response."""
+        self.counters["requests"] += 1
+        rid = msg.get("id")
+        op = msg.get("op")
+        try:
+            if op == "health":
+                return encode_message(self._health(rid))
+            if op == "stats":
+                return encode_message(self._stats(rid))
+            if op == "shutdown":
+                self.request_stop()
+                return encode_message({"id": rid, "ok": True, "op": "shutdown"})
+            if op == "matvec":
+                return await self._handle_matvec(rid, msg, payload)
+            if op == "partition":
+                return await self._handle_partition(rid, msg)
+            raise ProtocolError(f"unknown op {op!r}")
+        except ProtocolError as exc:
+            self.counters["errors"] += 1
+            return encode_message({"id": rid, "ok": False, "error": str(exc)})
+        except Exception as exc:  # keep the server alive on handler bugs
+            self.counters["errors"] += 1
+            return encode_message(
+                {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    def _health(self, rid) -> dict:
+        self.counters["health"] += 1
+        return {
+            "id": rid,
+            "ok": True,
+            "op": "health",
+            "resident": len(self.residency),
+            "resident_bytes": self.residency.resident_bytes(),
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "requests": self.counters["requests"],
+        }
+
+    def _stats(self, rid) -> dict:
+        self.counters["stats"] += 1
+        entries = []
+        for e in self.residency.entries():
+            d = e.as_dict()
+            if e.batcher is not None:
+                d["batch"] = {
+                    "matvecs": e.batcher.matvecs,
+                    "flushes": dict(e.batcher.flushes),
+                    "batch_sizes": {str(k): v for k, v in e.batcher.batch_sizes.items()},
+                }
+            entries.append(d)
+        return {
+            "id": rid,
+            "ok": True,
+            "op": "stats",
+            "counters": dict(self.counters),
+            "resident": entries,
+            "evictions": self.residency.evictions,
+            "pool": {"deaths": self.pool.deaths, "retries": self.pool.retries},
+            "fault_events": list(self.fault_events),
+        }
+
+    def _request_target(self, msg: dict) -> tuple[str, str, int, int]:
+        matrix = msg.get("matrix")
+        if not isinstance(matrix, str) or not matrix:
+            raise ProtocolError("request needs a 'matrix' (corpus name or path)")
+        method = msg.get("method", self.config.default_method)
+        procs = msg.get("procs", self.config.default_procs)
+        seed = msg.get("seed", self.config.default_seed)
+        if not isinstance(procs, int) or procs < 1:
+            raise ProtocolError(f"procs must be a positive int, got {procs!r}")
+        if not isinstance(seed, int):
+            raise ProtocolError(f"seed must be an int, got {seed!r}")
+        return matrix, str(method).lower(), procs, seed
+
+    def _fault_kill(self, msg: dict) -> bool:
+        fault = msg.get("fault")
+        if not fault:
+            return False
+        if not self.config.allow_fault_injection:
+            raise ProtocolError(
+                "fault injection not enabled (start the server with "
+                "allow_fault_injection)"
+            )
+        return bool(fault.get("kill_worker"))
+
+    async def _handle_matvec(self, rid, msg: dict, payload: bytes | None) -> bytes:
+        t_arrival = time.perf_counter()
+        self.counters["matvec"] += 1
+        matrix, method, procs, seed = self._request_target(msg)
+        fault_kill = self._fault_kill(msg)
+        name, A, mhash = await self._load_matrix(matrix)
+        x, encoding = decode_vector(msg, payload, n=A.shape[0])
+        if x is None:
+            raise ProtocolError("matvec needs a vector (bin frame, x_b64 or x)")
+        outcome = await self._ensure_engine(
+            name, A, mhash, method, procs, seed, fault_kill
+        )
+        entry = outcome.entry
+        recorder = SpanRecorder()
+        recorder.mark_since("queue", t_arrival)
+        y, batch_size = await entry.batcher.submit(x, recorder)
+        resp = {
+            "id": rid,
+            "ok": True,
+            "op": "matvec",
+            "n": entry.n,
+            "engine_key": str(entry.key),
+            "batch_size": batch_size,
+            "spans_ms": recorder.as_millis(),
+        }
+        resp.update({k: v for k, v in outcome.meta.items() if k != "cold"})
+        resp["cold"] = outcome.meta.get("cold", False)
+        return encode_vector(resp, y, encoding)
+
+    async def _handle_partition(self, rid, msg: dict) -> bytes:
+        self.counters["partition"] += 1
+        matrix, method, procs, seed = self._request_target(msg)
+        fault_kill = self._fault_kill(msg)
+        name, A, mhash = await self._load_matrix(matrix)
+        outcome = await self._ensure_engine(
+            name, A, mhash, method, procs, seed, fault_kill
+        )
+        resp = {
+            "id": rid,
+            "ok": True,
+            "op": "partition",
+            "matrix": name,
+            "engine_key": str(outcome.entry.key),
+            "n": outcome.entry.n,
+            "resident": True,
+        }
+        resp.update(outcome.meta)
+        return encode_message(resp)
+
+    # -- transports --------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        """One unix-socket connection: framed JSON lines until EOF."""
+        try:
+            while True:
+                try:
+                    framed = await read_message(reader)
+                except (ProtocolError, asyncio.IncompleteReadError) as exc:
+                    self.counters["errors"] += 1
+                    writer.write(
+                        encode_message({"ok": False, "error": str(exc)})
+                    )
+                    await writer.drain()
+                    break
+                if framed is None:
+                    break
+                msg, payload = framed
+                writer.write(await self._dispatch(msg, payload))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to answer
+        except asyncio.CancelledError:
+            pass  # loop shutdown cancels in-flight readers; close quietly
+        finally:
+            writer.close()
+
+    async def _handle_http_connection(self, reader, writer) -> None:
+        """Minimal HTTP/1.1: ``POST /rpc`` with a JSON body, one per conn.
+
+        ``GET`` anything returns health. Binary frames are a stream-socket
+        feature; HTTP bodies must use ``x_b64`` or ``x``.
+        """
+        self.counters["http_requests"] += 1
+        status, body = "200 OK", b"{}"
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                raise ProtocolError("malformed HTTP request line")
+            http_method = parts[0].upper()
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                k, _, v = line.decode("latin-1").partition(":")
+                if k.strip().lower() == "content-length":
+                    length = int(v.strip())
+            if http_method == "GET":
+                msg: dict = {"op": "health"}
+            else:
+                try:
+                    msg = json.loads(await reader.readexactly(length))
+                except (json.JSONDecodeError, asyncio.IncompleteReadError) as exc:
+                    raise ProtocolError(f"bad HTTP body: {exc}") from exc
+                if not isinstance(msg, dict):
+                    raise ProtocolError("HTTP body must be a JSON object")
+                if msg.get("bin"):
+                    raise ProtocolError("binary frames are not supported over HTTP")
+            wire = await self._dispatch(msg, None)
+            # responses to HTTP must be self-contained JSON: the dispatch
+            # path never emits a binary frame unless the request did
+            body = wire.rstrip(b"\n")
+        except ProtocolError as exc:
+            self.counters["errors"] += 1
+            status = "400 Bad Request"
+            body = json.dumps({"ok": False, "error": str(exc)}).encode()
+        except (ConnectionResetError, BrokenPipeError):
+            writer.close()
+            return
+        try:
+            writer.write(
+                b"HTTP/1.1 " + status.encode() + b"\r\n"
+                b"content-type: application/json\r\n"
+                b"content-length: " + str(len(body)).encode() + b"\r\n"
+                b"connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+
+# ---------------------------------------------------------------------------
+# embedding helpers: run the server from a plain (sync) caller
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on its own event-loop thread (tests, bench, CLI).
+
+    Exposes the bound addresses and a thread-safe :meth:`stop`. The
+    server object itself must only be touched from its loop thread;
+    callers talk to it over the socket like any other client.
+    """
+
+    def __init__(self, server: MatvecServer, thread: Thread, loop):
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def socket_path(self) -> str:
+        return self.server.config.socket_path
+
+    @property
+    def http_port(self) -> int | None:
+        return self.server.http_port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown and join the loop thread (idempotent)."""
+        if self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not stop in time")
+
+
+def start_in_thread(config: ServeConfig, timeout: float = 60.0) -> ServerHandle:
+    """Boot a :class:`MatvecServer` on a daemon thread; wait until it listens.
+
+    Raises if the server fails to come up (the thread's exception is
+    re-raised in the caller) — a bench or test never hangs on a server
+    that died during startup.
+    """
+    server = MatvecServer(config)
+    ready = ThreadEvent()
+    box: dict = {}
+
+    def on_started(srv: MatvecServer) -> None:
+        box["loop"] = asyncio.get_running_loop()
+        ready.set()
+
+    def run() -> None:
+        try:
+            asyncio.run(server.serve(on_started=on_started))
+        except BaseException as exc:  # surface startup failures to the caller
+            box["error"] = exc
+        finally:
+            ready.set()
+
+    thread = Thread(target=run, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout):
+        raise RuntimeError("server did not start listening in time")
+    if "error" in box:
+        raise RuntimeError(f"server failed to start: {box['error']}")
+    return ServerHandle(server, thread, box["loop"])

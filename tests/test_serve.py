@@ -1,0 +1,598 @@
+"""The serve layer: lifecycle, batching exactness, residency, resilience.
+
+The contracts under test:
+
+* **lifecycle** — a server boots on a unix socket, answers health, and
+  shuts down cleanly (socket removed, thread joined);
+* **exactness** — a batched answer is bit-identical to the serial
+  ``spmv`` of a locally built reference engine, whatever the wire
+  encoding and whatever batch the request landed in;
+* **residency** — engines stay hot behind the LRU and evict in LRU
+  order under count and byte bounds;
+* **resilience** — a killed partition worker is retried and the request
+  completes, priced via :func:`repro.runtime.faults.recovery_stats`; a
+  pool that cannot deliver degrades to the in-process reference path.
+
+Everything runs hermetically: a generated matrix written to a temp
+MatrixMarket file, a private partition-cache directory, short ``/tmp``
+socket paths (the AF_UNIX 107-byte limit), and in-process servers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.generators import rmat
+from repro.io import write_matrix_market
+from repro.parallel import PoolTaskFailed, ResilientPool
+from repro.perf import SpanRecorder
+from repro.serve import (
+    MicroBatcher,
+    ProtocolError,
+    ServeClient,
+    ServeConfig,
+    start_in_thread,
+)
+from repro.serve.loadgen import reference_engine, run_loadgen
+from repro.serve.protocol import decode_vector, encode_message, encode_vector
+from repro.serve.residency import EngineKey, EngineResidency, ResidentEngine
+
+PROCS = 4
+
+
+def _short_tmpdir() -> str:
+    # AF_UNIX paths are limited to ~107 bytes; pytest tmp_path nests too deep
+    return tempfile.mkdtemp(prefix="rs-", dir="/tmp")
+
+
+# ---------------------------------------------------------------------------
+# shared server: one matrix, one fault-injectable server for the module
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def serve_env():
+    tmp = _short_tmpdir()
+    cache_dir = os.path.join(tmp, "cache")
+    os.makedirs(cache_dir)
+    old_cache = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+
+    A = rmat(scale=9, edge_factor=8, seed=7)
+    mtx = os.path.join(tmp, "tiny.mtx")
+    write_matrix_market(mtx, A)
+
+    config = ServeConfig(
+        socket_path=os.path.join(tmp, "s.sock"),
+        http_port=0,
+        max_batch=8,
+        batch_deadline_ms=2.0,
+        allow_fault_injection=True,
+    )
+    handle = start_in_thread(config)
+    env = {
+        "A": A,
+        "mtx": mtx,
+        "sock": config.socket_path,
+        "handle": handle,
+        "cache_dir": cache_dir,
+        "tmp": tmp,
+    }
+    try:
+        yield env
+    finally:
+        try:
+            with ServeClient(config.socket_path, timeout=10.0) as c:
+                c.request({"op": "shutdown"})
+        except OSError:
+            pass
+        handle.stop()
+        if old_cache is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old_cache
+
+
+def _matvec(client, env, x, seed=0, **extra):
+    return client.request(
+        {"op": "matvec", "matrix": env["mtx"], "procs": PROCS, "seed": seed, **extra},
+        x=x,
+        encoding=extra.pop("encoding", "bin"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_health_roundtrip(serve_env):
+    with ServeClient(serve_env["sock"]) as c:
+        resp, y = c.request({"op": "health", "id": 42})
+        assert resp["ok"] and resp["id"] == 42 and y is None
+        assert resp["uptime_seconds"] >= 0
+        assert resp["resident"] >= 0
+
+
+def test_start_and_clean_shutdown():
+    tmp = _short_tmpdir()
+    sock = os.path.join(tmp, "x.sock")
+    handle = start_in_thread(ServeConfig(socket_path=sock))
+    assert os.path.exists(sock)
+    with ServeClient(sock) as c:
+        resp, _ = c.request({"op": "health"})
+        assert resp["ok"]
+        resp, _ = c.request({"op": "shutdown"})
+        assert resp["ok"]
+    handle.stop()
+    assert not os.path.exists(sock)
+    handle.stop()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# matvec exactness and batching
+# ---------------------------------------------------------------------------
+
+
+def test_matvec_bit_identical_across_encodings(serve_env):
+    n = serve_env["A"].shape[0]
+    x = np.random.default_rng(1).standard_normal(n)
+    engine, n_ref = reference_engine(serve_env["mtx"], "2d-gp", PROCS, 0)
+    assert n_ref == n
+    expected = engine.spmv(x)
+    with ServeClient(serve_env["sock"], timeout=300.0) as c:
+        for encoding in ("bin", "b64", "list"):
+            resp, y = _matvec(c, serve_env, x, encoding=encoding)
+            assert resp["ok"], resp.get("error")
+            assert np.array_equal(y, expected)
+            assert resp["batch_size"] >= 1
+            assert set(resp["spans_ms"]) >= {"queue", "batch", "compute"}
+
+
+def test_lone_request_flushes_on_deadline(serve_env):
+    n = serve_env["A"].shape[0]
+    x = np.random.default_rng(2).standard_normal(n)
+    with ServeClient(serve_env["sock"], timeout=300.0) as c:
+        _matvec(c, serve_env, x)  # ensure warm
+        resp, _ = _matvec(c, serve_env, x)
+        assert resp["ok"] and resp["batch_size"] == 1
+        # a lone warm request's wait is bounded by the batch deadline plus
+        # scheduling noise, nowhere near a size-8 pileup
+        assert resp["spans_ms"]["batch"] < 1000.0
+
+
+def test_concurrent_requests_coalesce_and_match_serial(serve_env):
+    result = run_loadgen(
+        serve_env["sock"],
+        serve_env["mtx"],
+        procs=PROCS,
+        concurrency=4,
+        requests_per_client=10,
+        check=True,
+    )
+    assert result.requests == 40
+    assert result.errors == 0
+    assert result.divergences == 0  # bit-identity under coalescing
+    assert result.mean_batch_size > 1.0  # batching actually happened
+    assert result.throughput_rps > 0
+
+
+def test_concurrent_mixed_matvec_and_partition(serve_env):
+    n = serve_env["A"].shape[0]
+    x = np.random.default_rng(3).standard_normal(n)
+    results: dict[str, dict] = {}
+
+    def matvecs():
+        with ServeClient(serve_env["sock"], timeout=300.0) as c:
+            for _ in range(5):
+                resp, _ = _matvec(c, serve_env, x)
+                assert resp["ok"], resp.get("error")
+            results["matvec"] = resp
+
+    def partition():
+        with ServeClient(serve_env["sock"], timeout=300.0) as c:
+            resp, _ = c.request(
+                {"op": "partition", "matrix": serve_env["mtx"],
+                 "procs": PROCS, "seed": 5}
+            )
+            results["partition"] = resp
+
+    threads = [threading.Thread(target=matvecs), threading.Thread(target=partition)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert results["matvec"]["ok"]
+    assert results["partition"]["ok"] and results["partition"]["resident"]
+
+
+# ---------------------------------------------------------------------------
+# fault injection and degradation
+# ---------------------------------------------------------------------------
+
+
+def test_worker_death_is_retried_and_priced(serve_env):
+    with ServeClient(serve_env["sock"], timeout=300.0) as c:
+        resp, _ = c.request({
+            "op": "partition", "matrix": serve_env["mtx"], "procs": PROCS,
+            "seed": 77, "fault": {"kill_worker": True},
+        })
+        assert resp["ok"], resp.get("error")
+        assert resp["worker_deaths"] >= 1
+        assert not resp["degraded"]  # the retry completed on the pool
+        assert resp["partition_source"] == "pool"
+        rec = resp["recovery"]
+        assert rec["strategy"] == "spare"
+        assert rec["modeled_seconds"] > 0
+        assert rec["peers"] >= 1 and rec["restore_words"] > 0
+
+        stats, _ = c.request({"op": "stats"})
+        assert stats["pool"]["deaths"] >= 1
+        assert any(e["kind"] == "worker-death" for e in stats["fault_events"])
+
+
+def test_fault_injection_rejected_when_disabled():
+    tmp = _short_tmpdir()
+    sock = os.path.join(tmp, "nf.sock")
+    handle = start_in_thread(ServeConfig(socket_path=sock))
+    try:
+        with ServeClient(sock) as c:
+            resp, _ = c.request({
+                "op": "partition", "matrix": "nope", "procs": 2,
+                "fault": {"kill_worker": True},
+            })
+            assert not resp["ok"]
+            assert "fault injection" in resp["error"]
+    finally:
+        with ServeClient(sock) as c:
+            c.request({"op": "shutdown"})
+        handle.stop()
+
+
+def test_pool_timeout_degrades_to_reference_path(serve_env):
+    tmp = _short_tmpdir()
+    sock = os.path.join(tmp, "dg.sock")
+    # a timeout no partition can meet, and no retry budget: the pool path
+    # must fail and the server must still answer via the inline reference
+    handle = start_in_thread(ServeConfig(
+        socket_path=sock, partition_timeout_s=1e-3, partition_retries=0,
+    ))
+    try:
+        with ServeClient(sock, timeout=300.0) as c:
+            resp, _ = c.request({
+                "op": "partition", "matrix": serve_env["mtx"],
+                "procs": PROCS, "seed": 88,
+            })
+            assert resp["ok"], resp.get("error")
+            assert resp["degraded"]
+            assert resp["partition_source"] == "inline-reference"
+            assert any("timed out" in c_ for c_ in resp["degraded_causes"])
+            c.request({"op": "shutdown"})
+    finally:
+        handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# protocol errors
+# ---------------------------------------------------------------------------
+
+
+def test_protocol_errors_keep_connection_alive(serve_env):
+    n = serve_env["A"].shape[0]
+    with ServeClient(serve_env["sock"], timeout=300.0) as c:
+        resp, _ = c.request({"op": "frobnicate"})
+        assert not resp["ok"] and "unknown op" in resp["error"]
+        resp, _ = c.request({"op": "matvec"})  # no matrix
+        assert not resp["ok"] and "matrix" in resp["error"]
+        resp, _ = c.request(
+            {"op": "matvec", "matrix": serve_env["mtx"], "procs": PROCS},
+            x=np.ones(n + 3),
+        )
+        assert not resp["ok"] and "length" in resp["error"]
+        resp, _ = c.request({"op": "matvec", "matrix": "no-such", "procs": PROCS},
+                            x=np.ones(4))
+        assert not resp["ok"]
+        # and the same connection still serves good requests
+        resp, y = _matvec(c, serve_env, np.ones(n))
+        assert resp["ok"] and y is not None
+
+
+def test_vector_encodings_roundtrip():
+    y = np.linspace(-3.0, 3.0, 17)
+    for encoding in ("list", "b64", "bin"):
+        wire = encode_vector({"id": 1}, y, encoding)
+        line, _, payload = wire.partition(b"\n")
+        msg = json.loads(line)
+        out, enc = decode_vector(msg, payload or None)
+        assert enc == encoding
+        assert np.array_equal(out, y)
+    with pytest.raises(ProtocolError):
+        encode_vector({}, y, "hex")
+    with pytest.raises(ProtocolError):
+        decode_vector({}, b"abc")  # not a float64 buffer
+    assert decode_vector({}, None) == (None, "bin")
+    assert encode_message({"a": 1}).endswith(b"\n")
+
+
+# ---------------------------------------------------------------------------
+# residency
+# ---------------------------------------------------------------------------
+
+
+def _entry(key_seed: int, nbytes: int = 100) -> ResidentEngine:
+    class _Eng:
+        n = 4
+
+        def __init__(self, nb):
+            self.nbytes = nb
+
+    key = EngineKey("h" * 12, "2d-gp", 4, key_seed)
+    return ResidentEngine(key=key, matrix="m", dist=None, engine=_Eng(nbytes))
+
+
+def test_residency_lru_and_byte_bounds():
+    res = EngineResidency(max_engines=2)
+    assert res.admit(_entry(0)) == []
+    assert res.admit(_entry(1)) == []
+    assert res.get(_entry(0).key) is not None  # refreshes 0's recency
+    evicted = res.admit(_entry(2))  # 1 is now the LRU victim
+    assert [e.key.seed for e in evicted] == [1]
+    assert res.evictions == 1 and len(res) == 2
+
+    res = EngineResidency(max_engines=10, max_bytes=250)
+    res.admit(_entry(0))
+    res.admit(_entry(1))
+    evicted = res.admit(_entry(2))
+    assert [e.key.seed for e in evicted] == [0]
+    # an oversized newest entry evicts everything else but survives itself
+    evicted = res.admit(_entry(3, nbytes=10_000))
+    assert len(res) == 1 and res.get(_entry(3).key) is not None
+    assert res.resident_bytes() == 10_000
+    assert res.evict(_entry(3).key) is not None
+    assert len(res) == 0
+
+    with pytest.raises(ValueError):
+        EngineResidency(max_engines=0)
+
+
+def test_server_lru_eviction_end_to_end(serve_env):
+    tmp = _short_tmpdir()
+    sock = os.path.join(tmp, "lru.sock")
+    handle = start_in_thread(ServeConfig(socket_path=sock, max_engines=1))
+    try:
+        with ServeClient(sock, timeout=300.0) as c:
+            for seed in (0, 5):  # both rparts already cached by earlier tests
+                resp, _ = c.request({"op": "partition", "matrix": serve_env["mtx"],
+                                     "procs": PROCS, "seed": seed})
+                assert resp["ok"], resp.get("error")
+            stats, _ = c.request({"op": "stats"})
+            assert len(stats["resident"]) == 1
+            assert stats["resident"][0]["seed"] == 5
+            assert stats["evictions"] == 1
+            c.request({"op": "shutdown"})
+    finally:
+        handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# HTTP transport
+# ---------------------------------------------------------------------------
+
+
+def test_http_health_and_matvec(serve_env):
+    port = serve_env["handle"].http_port
+    assert port is not None
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/health", timeout=30) as r:
+        health = json.loads(r.read())
+    assert health["ok"] and health["op"] == "health"
+
+    n = serve_env["A"].shape[0]
+    x = np.random.default_rng(4).standard_normal(n)
+    import base64
+
+    body = json.dumps({
+        "op": "matvec", "matrix": serve_env["mtx"], "procs": PROCS,
+        "x_b64": base64.b64encode(x.tobytes()).decode(),
+    }).encode()
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/rpc", data=body, method="POST"
+    )
+    with urllib.request.urlopen(req, timeout=300) as r:
+        resp = json.loads(r.read())
+    assert resp["ok"], resp.get("error")
+    y = np.frombuffer(base64.b64decode(resp["y_b64"]), dtype="<f8")
+    engine, _ = reference_engine(serve_env["mtx"], "2d-gp", PROCS, 0)
+    assert np.array_equal(y, engine.spmv(x))
+
+    # binary frames are a stream-socket feature
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/rpc",
+        data=json.dumps({"op": "matvec", "bin": 8}).encode(),
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(req, timeout=30)
+    assert exc_info.value.code == 400
+
+
+# ---------------------------------------------------------------------------
+# micro-batcher (event-loop unit tests, fake engine)
+# ---------------------------------------------------------------------------
+
+
+class _FakeEngine:
+    def __init__(self):
+        self.spmv_calls = 0
+        self.spmm_widths: list[int] = []
+
+    def spmv(self, x):
+        self.spmv_calls += 1
+        return x * 2.0
+
+    def spmm(self, X):
+        self.spmm_widths.append(X.shape[1])
+        return X * 2.0
+
+
+def test_batcher_deadline_flush():
+    async def scenario():
+        eng = _FakeEngine()
+        b = MicroBatcher(eng, max_batch=8, deadline_s=0.005)
+        y, k = await b.submit(np.ones(3), SpanRecorder())
+        return eng, b, y, k
+
+    eng, b, y, k = asyncio.run(scenario())
+    assert k == 1 and np.array_equal(y, np.full(3, 2.0))
+    assert eng.spmv_calls == 1 and eng.spmm_widths == []
+    assert b.flushes == {"size": 0, "deadline": 1, "drain": 0}
+    assert b.batch_sizes == {1: 1} and b.matvecs == 1
+
+
+def test_batcher_size_flush_coalesces():
+    async def scenario():
+        eng = _FakeEngine()
+        b = MicroBatcher(eng, max_batch=3, deadline_s=60.0)
+        rec = [SpanRecorder() for _ in range(3)]
+        xs = [np.full(4, float(i)) for i in range(3)]
+        outs = await asyncio.gather(*(b.submit(x, r) for x, r in zip(xs, rec)))
+        return eng, b, rec, outs
+
+    eng, b, recs, outs = asyncio.run(scenario())
+    assert eng.spmm_widths == [3] and eng.spmv_calls == 0
+    for i, (y, k) in enumerate(outs):
+        assert k == 3
+        assert np.array_equal(y, np.full(4, 2.0 * i))  # column order = arrival
+        assert y.flags["C_CONTIGUOUS"]
+    assert b.flushes["size"] == 1
+    assert all("compute" in r.spans and "batch" in r.spans for r in recs)
+
+
+def test_batcher_drain_flushes_pending():
+    async def scenario():
+        eng = _FakeEngine()
+        b = MicroBatcher(eng, max_batch=8, deadline_s=60.0)
+        task = asyncio.ensure_future(b.submit(np.ones(2), SpanRecorder()))
+        await asyncio.sleep(0)  # let submit enqueue
+        assert b.pending == 1
+        b.drain()
+        y, k = await task
+        return b, y, k
+
+    b, y, k = asyncio.run(scenario())
+    assert k == 1 and b.flushes["drain"] == 1 and b.pending == 0
+
+
+def test_batcher_rejects_bad_config():
+    with pytest.raises(ValueError):
+        MicroBatcher(_FakeEngine(), max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(_FakeEngine(), deadline_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# resilient pool (direct unit tests)
+# ---------------------------------------------------------------------------
+
+
+def _echo_task(x, attempt):
+    return (x, attempt)
+
+
+def _die_then_echo(x, attempt):
+    if attempt == 0:
+        os._exit(3)
+    return (x, attempt)
+
+
+def _raise_task(attempt):
+    raise ValueError("deterministic task bug")
+
+
+def _sleep_task(seconds, attempt):
+    time.sleep(seconds)
+    return attempt
+
+
+def test_resilient_pool_runs_and_passes_attempt():
+    pool = ResilientPool(max_workers=1)
+    try:
+        assert pool.run(_echo_task, 7) == (7, 0)
+        assert pool.deaths == 0 and pool.retries == 0
+    finally:
+        pool.shutdown()
+
+
+def test_resilient_pool_retries_after_worker_death():
+    pool = ResilientPool(max_workers=1, max_retries=2)
+    try:
+        assert pool.run(_die_then_echo, 9) == (9, 1)
+        assert pool.deaths == 1 and pool.retries == 1
+    finally:
+        pool.shutdown()
+
+
+def test_resilient_pool_does_not_retry_task_exceptions():
+    pool = ResilientPool(max_workers=1, max_retries=3)
+    try:
+        with pytest.raises(ValueError, match="deterministic"):
+            pool.run(_raise_task)
+        assert pool.retries == 0  # the bug would fail identically again
+    finally:
+        pool.shutdown()
+
+
+def test_resilient_pool_timeout_exhausts_budget():
+    pool = ResilientPool(max_workers=1, max_retries=0)
+    try:
+        with pytest.raises(PoolTaskFailed) as exc_info:
+            pool.run(_sleep_task, 3.0, timeout=0.2)
+        assert exc_info.value.attempts == 1
+        assert any("timed out" in c for c in exc_info.value.causes)
+        assert pool.deaths == 1
+    finally:
+        pool.shutdown()
+    pool.shutdown()  # idempotent
+
+    with pytest.raises(ValueError):
+        ResilientPool(max_workers=0)
+
+
+# ---------------------------------------------------------------------------
+# span recorder and engine footprint
+# ---------------------------------------------------------------------------
+
+
+def test_span_recorder():
+    rec = SpanRecorder()
+    rec.add("queue", 0.001)
+    rec.add("queue", 0.002)  # accumulates
+    t0 = time.perf_counter()
+    rec.mark_since("batch", t0)
+    with rec.span("compute"):
+        pass
+    ms = rec.as_millis()
+    assert ms["queue"] == pytest.approx(3.0)
+    assert ms["batch"] >= 0 and ms["compute"] >= 0
+    assert set(ms) == {"queue", "batch", "compute"}
+
+
+def test_engine_nbytes(small_rmat):
+    from repro.bench.harness import layout_for
+    from repro.runtime import CAB, DistSparseMatrix
+
+    layout = layout_for(small_rmat, "2d-block", 4)
+    dist = DistSparseMatrix(small_rmat, layout, CAB)
+    engine = dist.engine
+    base = engine.nbytes
+    assert base > 0
+    engine._abft_operators()  # ABFT operators count once they exist
+    assert engine.nbytes > base
