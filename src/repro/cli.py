@@ -27,9 +27,17 @@ once on a workstation, reuse for many analyses:
     Long-lived matvec server: compiled engines stay resident behind an
     LRU, concurrent matvecs coalesce into batched ``spmm`` calls, cold
     partitions run on a resilient worker pool (see :mod:`repro.serve`).
-``loadgen MATRIX --socket PATH``
+``serve chaos [--seed S]``
+    Self-contained chaos demo: boots a fault-injectable server plus a
+    seeded :class:`~repro.serve.chaos.ChaosProxy` (torn frames,
+    corruption, resets, delays, drops) and soaks it with retrying
+    clients, asserting every acknowledged answer is bit-identical to a
+    local reference engine (see DESIGN.md §13).
+``loadgen MATRIX --socket PATH [--deadline S] [--chaos]``
     Closed-loop load generator against a running server; reports
-    throughput, latency percentiles and bitwise divergences.
+    throughput, latency percentiles, bitwise divergences and deadline
+    expiries. ``--chaos`` interposes a seeded chaos proxy and drives
+    the load through retrying clients instead.
 
 Every subcommand that uses randomness (partitioning, fault schedules,
 solver start vectors) takes the same ``--seed`` flag; one seed makes the
@@ -304,6 +312,12 @@ def _cmd_serve(args) -> int:
 
     from .serve import MatvecServer, ServeConfig
 
+    if args.mode == "chaos":
+        return _cmd_serve_chaos(args)
+    if not args.socket:
+        print("error: --socket is required (except in 'serve chaos' mode)",
+              file=sys.stderr)
+        return 2
     config = ServeConfig(
         socket_path=args.socket,
         http_port=args.http,
@@ -337,9 +351,133 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _default_chaos_schedule(seed: int):
+    """The stock schedule CLI chaos runs use: every wire class active."""
+    from .serve import ChaosSchedule
+
+    return ChaosSchedule(
+        seed=seed, p_torn=0.03, p_corrupt=0.05, p_reset=0.03,
+        p_delay=0.08, p_drop=0.03, delay_ms=3.0,
+    )
+
+
+def _print_chaos_result(result) -> int:
+    """Print a chaos soak summary; nonzero on a violated invariant."""
+    d = result.as_dict()
+    width = max(len(k) for k in d)
+    for k, v in d.items():
+        print(f"{k:<{width}}  {v}")
+    if result.divergences or result.lost_acked:
+        print("FAILED: a fault was returned to a client as wrong data")
+        return 1
+    if result.failed:
+        print("FAILED: request(s) exhausted their retry budget")
+        return 1
+    print("OK: every acknowledged answer bit-identical under chaos")
+    return 0
+
+
+def _run_chaos_soak_against(
+    server_socket: str,
+    matrix: str,
+    *,
+    chaos_seed: int,
+    procs: int,
+    seed: int,
+    method: str = "2d-gp",
+    concurrency: int = 4,
+    requests_per_client: int = 25,
+) -> int:
+    """Interpose a chaos proxy on *server_socket* and soak through it."""
+    import os
+
+    from .serve import start_chaos_proxy
+    from .serve.loadgen import run_chaos_soak
+
+    listen = server_socket + ".chaos"
+    proxy = start_chaos_proxy(
+        server_socket, listen, _default_chaos_schedule(chaos_seed)
+    )
+    try:
+        result = run_chaos_soak(
+            listen,
+            matrix,
+            method=method,
+            procs=procs,
+            seed=seed,
+            warm_socket_path=server_socket,
+            chaos_seed=chaos_seed,
+            concurrency=concurrency,
+            requests_per_client=requests_per_client,
+            attempt_deadline_s=2.0,
+            inject_kill=True,
+            p_slow=0.05,
+        )
+        result.injected_wire = proxy.proxy.executed_counts()
+    finally:
+        proxy.stop()
+        if os.path.exists(listen):  # pragma: no cover - defensive cleanup
+            os.unlink(listen)
+    return _print_chaos_result(result)
+
+
+def _cmd_serve_chaos(args) -> int:
+    """Self-contained chaos demo: server + proxy + seeded soak, one command.
+
+    Boots a fault-injectable server on a private socket (a generated
+    scale-10 RMAT graph unless ``--preload`` names a matrix), interposes
+    the chaos proxy, runs the soak and reports the invariant verdict.
+    """
+    import os
+    import tempfile
+
+    from .serve import ServeConfig, start_in_thread
+
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-", dir="/tmp")
+    matrix = args.preload[0] if args.preload else None
+    if matrix is None:
+        from .generators import rmat
+        from .io import write_matrix_market
+
+        A = rmat(scale=10, edge_factor=8, seed=args.seed)
+        matrix = os.path.join(tmp, "rmat10.mtx")
+        write_matrix_market(matrix, A)
+        print(f"generated {matrix} (rmat scale 10, seed {args.seed})")
+    config = ServeConfig(
+        socket_path=args.socket or os.path.join(tmp, "serve.sock"),
+        max_batch=args.max_batch,
+        batch_deadline_ms=args.deadline_ms,
+        cache_dir=args.cache_dir or os.path.join(tmp, "cache"),
+        allow_fault_injection=True,
+    )
+    handle = start_in_thread(config)
+    print(f"chaos target on {config.socket_path} (seed {args.seed})")
+    try:
+        return _run_chaos_soak_against(
+            config.socket_path,
+            matrix,
+            chaos_seed=args.seed,
+            procs=4,
+            seed=0,
+        )
+    finally:
+        handle.stop()
+
+
 def _cmd_loadgen(args) -> int:
     from .serve import run_loadgen
 
+    if args.chaos:
+        return _run_chaos_soak_against(
+            args.socket,
+            args.matrix,
+            chaos_seed=args.chaos_seed,
+            procs=args.procs,
+            seed=args.seed,
+            method=args.method,
+            concurrency=args.concurrency,
+            requests_per_client=args.requests,
+        )
     result = run_loadgen(
         args.socket,
         args.matrix,
@@ -350,6 +488,7 @@ def _cmd_loadgen(args) -> int:
         requests_per_client=args.requests,
         check=not args.no_check,
         encoding=args.encoding,
+        deadline=args.deadline,
     )
     d = result.as_dict()
     width = max(len(k) for k in d if k != "batch_sizes")
@@ -491,7 +630,12 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="long-lived batched matvec server (see DESIGN.md §12)",
         parents=[seeded, jobbed],
     )
-    p.add_argument("--socket", required=True, help="unix socket path to listen on")
+    p.add_argument("mode", nargs="?", choices=("chaos",),
+                   help="'chaos': self-contained seeded chaos demo — boots a "
+                        "server + ChaosProxy and soaks it with retrying "
+                        "clients (see DESIGN.md §13)")
+    p.add_argument("--socket", help="unix socket path to listen on "
+                                    "(required except in chaos mode)")
     p.add_argument("--http", type=int, default=None, metavar="PORT",
                    help="also listen for HTTP POST /rpc on 127.0.0.1:PORT "
                         "(0 = ephemeral)")
@@ -532,6 +676,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference engine")
     p.add_argument("--encoding", choices=("bin", "b64", "list"), default="bin",
                    help="vector wire encoding (default: bin)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds; expiries are "
+                        "reported as a distinct 'timeouts' outcome class")
+    p.add_argument("--chaos", action="store_true",
+                   help="interpose a seeded chaos proxy and drive load "
+                        "through retrying clients (server must run with "
+                        "--allow-fault-injection)")
+    p.add_argument("--chaos-seed", type=int, default=7,
+                   help="seed for the chaos schedule and retry jitter "
+                        "(default: 7)")
     p.set_defaults(fn=_cmd_loadgen)
     return parser
 

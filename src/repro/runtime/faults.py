@@ -70,6 +70,7 @@ __all__ = [
     "FaultRunResult",
     "CampaignCell",
     "recovery_stats",
+    "straggler_overhead_seconds",
     "abft_detect_seconds",
     "checkpoint_write_seconds",
     "run_with_faults",
@@ -763,6 +764,30 @@ def dist_modeled_with_slowdown(
     ledger = CostLedger()
     dist.charge_spmv(ledger, slowdown=slowdown)
     return ledger.spmv_total()
+
+
+def straggler_overhead_seconds(
+    dist: "DistSparseMatrix", rank: int, factor: float
+) -> float:
+    """Modeled extra seconds one SpMV pays when *rank* runs *factor*x slow.
+
+    The serving layer's slow-engine injections are priced through this:
+    the stall a client observes is wall time, but the comparable ledger
+    quantity is the modeled critical-path inflation of a single-rank
+    straggler — the same number a :class:`Straggler` injection records in
+    a fault campaign.
+    """
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if not 0 <= rank < dist.nprocs:
+        raise ValueError(f"rank {rank} out of range for nprocs {dist.nprocs}")
+    slowdown = np.ones(dist.nprocs)
+    slowdown[rank] = factor
+    return max(
+        dist_modeled_with_slowdown(dist, slowdown)
+        - dist_modeled_with_slowdown(dist, None),
+        0.0,
+    )
 
 
 # ---------------------------------------------------------------------------

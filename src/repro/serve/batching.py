@@ -34,7 +34,26 @@ import numpy as np
 
 from ..perf import SpanRecorder
 
-__all__ = ["MicroBatcher"]
+__all__ = ["MicroBatcher", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """A bounded micro-batch queue refused one more request.
+
+    Raised by :meth:`MicroBatcher.submit` when ``max_pending`` requests
+    are already waiting — the admission-control signal the server turns
+    into an explicit load-shedding response (``shed: true`` with a
+    ``retry_after_s`` hint) instead of letting queue latency grow without
+    bound.
+    """
+
+    def __init__(self, pending: int, max_pending: int):
+        super().__init__(
+            f"engine queue full: {pending} request(s) pending "
+            f"(bound {max_pending})"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
 
 
 class MicroBatcher:
@@ -42,28 +61,49 @@ class MicroBatcher:
 
     Lives entirely on the event loop thread: ``submit`` appends to the
     open batch and every flush resolves the waiting futures in arrival
-    order.
+    order. ``max_pending`` (optional) bounds the number of queued
+    requests; beyond it :meth:`submit` raises :class:`QueueFull`
+    *synchronously*, so an overloaded engine sheds load at admission
+    instead of queueing unboundedly.
     """
 
-    def __init__(self, engine, max_batch: int = 16, deadline_s: float = 0.002):
+    def __init__(
+        self,
+        engine,
+        max_batch: int = 16,
+        deadline_s: float = 0.002,
+        max_pending: int | None = None,
+    ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if deadline_s < 0:
             raise ValueError(f"deadline_s must be >= 0, got {deadline_s}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.engine = engine
         self.max_batch = max_batch
         self.deadline_s = deadline_s
+        self.max_pending = max_pending
         self._pending: list[tuple[np.ndarray, asyncio.Future, SpanRecorder, float]] = []
         self._timer: asyncio.TimerHandle | None = None
         #: flush counters by trigger, and a batch-size histogram
         self.flushes = {"size": 0, "deadline": 0, "drain": 0}
         self.batch_sizes: dict[int, int] = {}
         self.matvecs = 0
+        #: submissions refused by the max_pending bound
+        self.shed = 0
 
     async def submit(
         self, x: np.ndarray, recorder: SpanRecorder
     ) -> tuple[np.ndarray, int]:
-        """Queue one matvec; await ``(y, batch_size)`` from the next flush."""
+        """Queue one matvec; await ``(y, batch_size)`` from the next flush.
+
+        Raises :class:`QueueFull` (before queueing anything) when the
+        pending bound is hit.
+        """
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            self.shed += 1
+            raise QueueFull(len(self._pending), self.max_pending)
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
         self._pending.append((x, fut, recorder, time.perf_counter()))

@@ -19,6 +19,20 @@ requests to coalesce. Numbers reported:
 Vectors come from a small seeded pool so the reference answers are
 precomputed once, not per request — checking is O(compare), and the pool
 is shared across sessions so coalesced batches genuinely mix clients.
+
+Two timeout knobs are deliberately separate: *timeout* is the
+connect/socket default (how long a healthy server may take), while
+*deadline* bounds each individual request. A request that misses its
+deadline is a **distinct outcome class** (``timeouts`` in the summary) —
+the session discards the poisoned connection, reconnects and keeps
+going, instead of crashing the worker thread and aborting the run.
+
+:func:`run_chaos_soak` is the adversarial variant: the same closed loop
+driven through a :class:`~repro.serve.chaos.ChaosProxy` by
+:class:`~repro.serve.resilience.RetryingClient` sessions, asserting the
+repo's serving invariant — **every acknowledged answer is bit-identical
+to the local reference engine under every chaos schedule**. Faults may
+cost retries and latency, never wrong bits.
 """
 
 from __future__ import annotations
@@ -29,9 +43,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .protocol import ProtocolError, ServeClient
+from .protocol import DeadlineExceeded, ProtocolError, ServeClient
+from .resilience import ResilienceError, RetryingClient
 
-__all__ = ["LoadgenResult", "run_loadgen", "reference_engine"]
+__all__ = [
+    "LoadgenResult",
+    "run_loadgen",
+    "reference_engine",
+    "ChaosSoakResult",
+    "run_chaos_soak",
+]
 
 _PARTITIONED_KINDS = ("gp", "hp", "gp-mc")
 
@@ -79,6 +100,7 @@ class LoadgenResult:
     requests: int
     errors: int
     divergences: int
+    timeouts: int
     checked: bool
     elapsed_seconds: float
     throughput_rps: float
@@ -103,6 +125,7 @@ class LoadgenResult:
             "requests": self.requests,
             "errors": self.errors,
             "divergences": self.divergences,
+            "timeouts": self.timeouts,
             "checked": self.checked,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "throughput_rps": round(self.throughput_rps, 3),
@@ -127,11 +150,14 @@ def run_loadgen(
     check: bool = True,
     encoding: str = "bin",
     timeout: float = 600.0,
+    deadline: float | None = None,
 ) -> LoadgenResult:
     """Run one closed-loop load test against a listening server.
 
     Warms the target engine with a ``partition`` request first, so the
     timed window measures steady-state serving, not the cold build.
+    *deadline*, when given, bounds each request; expiries are reported
+    as ``timeouts`` (the session reconnects and continues).
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -159,38 +185,53 @@ def run_loadgen(
     lock = threading.Lock()
     latencies: list[float] = []
     batch_sizes: dict[int, int] = {}
-    totals = {"requests": 0, "errors": 0, "divergences": 0}
+    totals = {"requests": 0, "errors": 0, "divergences": 0, "timeouts": 0}
     failures: list[BaseException] = []
 
     def session(client_id: int) -> None:
         pick = np.random.default_rng(1000 + client_id)
         lat: list[float] = []
         sizes: dict[int, int] = {}
-        counts = {"requests": 0, "errors": 0, "divergences": 0}
+        counts = {"requests": 0, "errors": 0, "divergences": 0, "timeouts": 0}
+        client = None
         try:
-            with ServeClient(socket_path, timeout=timeout) as client:
-                # one untimed request primes the connection end to end
-                client.request({"op": "matvec", **target}, x=pool[0], encoding=encoding)
-                barrier.wait()
-                for _ in range(requests_per_client):
-                    idx = int(pick.integers(vector_pool))
-                    t0 = time.perf_counter()
+            client = ServeClient(socket_path, timeout=timeout)
+            # one untimed request primes the connection end to end
+            client.request({"op": "matvec", **target}, x=pool[0], encoding=encoding)
+            barrier.wait()
+            for _ in range(requests_per_client):
+                idx = int(pick.integers(vector_pool))
+                t0 = time.perf_counter()
+                try:
                     resp, y = client.request(
-                        {"op": "matvec", **target}, x=pool[idx], encoding=encoding
+                        {"op": "matvec", **target},
+                        x=pool[idx],
+                        encoding=encoding,
+                        deadline=deadline,
                     )
-                    lat.append(time.perf_counter() - t0)
-                    counts["requests"] += 1
-                    if not resp.get("ok") or y is None:
-                        counts["errors"] += 1
-                        continue
-                    bsz = int(resp.get("batch_size", 0))
-                    sizes[bsz] = sizes.get(bsz, 0) + 1
-                    if expected is not None and not np.array_equal(y, expected[idx]):
-                        counts["divergences"] += 1
+                except DeadlineExceeded:
+                    # its own outcome class, not a crashed worker; the
+                    # connection is poisoned (a stale response may still
+                    # arrive mid-frame), so reconnect before continuing
+                    counts["timeouts"] += 1
+                    client.close()
+                    client = ServeClient(socket_path, timeout=timeout)
+                    continue
+                lat.append(time.perf_counter() - t0)
+                counts["requests"] += 1
+                if not resp.get("ok") or y is None:
+                    counts["errors"] += 1
+                    continue
+                bsz = int(resp.get("batch_size", 0))
+                sizes[bsz] = sizes.get(bsz, 0) + 1
+                if expected is not None and not np.array_equal(y, expected[idx]):
+                    counts["divergences"] += 1
         except BaseException as exc:
             failures.append(exc)
             barrier.abort()  # don't leave siblings waiting on a dead session
         finally:
+            if client is not None:
+                client.close()
             with lock:
                 latencies.extend(lat)
                 for k, v in sizes.items():
@@ -221,6 +262,7 @@ def run_loadgen(
         requests=totals["requests"],
         errors=totals["errors"],
         divergences=totals["divergences"],
+        timeouts=totals["timeouts"],
         checked=check,
         elapsed_seconds=elapsed,
         throughput_rps=totals["requests"] / elapsed if elapsed > 0 else 0.0,
@@ -229,4 +271,261 @@ def run_loadgen(
         p99_ms=float(np.percentile(lat_ms, 99)),
         max_ms=float(lat_ms.max()),
         batch_sizes=batch_sizes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# chaos soak: the same closed loop, adversarial wire + semantic faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChaosSoakResult:
+    """One chaos soak, summarized.
+
+    ``lost_acked`` is the invariant counter: acknowledged (``ok``)
+    responses that were wrong — bitwise divergences plus answers that
+    arrived without a vector. It must be zero under every schedule.
+    ``failed`` counts logical requests that exhausted their retry budget
+    *without* an acknowledgment — visible failures, never wrong data.
+    """
+
+    matrix: str
+    method: str
+    procs: int
+    seed: int
+    chaos_seed: int
+    concurrency: int
+    requests: int
+    answered: int
+    failed: int
+    divergences: int
+    lost_acked: int
+    deduped: int
+    retries: int
+    attempts: int
+    hedges: int
+    shed_seen: int
+    draining_seen: int
+    breaker_opens: int
+    elapsed_seconds: float
+    throughput_rps: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+    injected_wire: dict[str, int] = field(default_factory=dict)
+    injected_semantic: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "matrix": self.matrix,
+            "method": self.method,
+            "procs": self.procs,
+            "seed": self.seed,
+            "chaos_seed": self.chaos_seed,
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "answered": self.answered,
+            "failed": self.failed,
+            "divergences": self.divergences,
+            "lost_acked": self.lost_acked,
+            "deduped": self.deduped,
+            "retries": self.retries,
+            "attempts": self.attempts,
+            "hedges": self.hedges,
+            "shed_seen": self.shed_seen,
+            "draining_seen": self.draining_seen,
+            "breaker_opens": self.breaker_opens,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "mean_ms": round(self.mean_ms, 4),
+            "p50_ms": round(self.p50_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "max_ms": round(self.max_ms, 4),
+            "injected_wire": dict(self.injected_wire),
+            "injected_semantic": dict(self.injected_semantic),
+        }
+
+
+def run_chaos_soak(
+    socket_path: str,
+    matrix: str,
+    method: str = "2d-gp",
+    procs: int = 16,
+    seed: int = 0,
+    *,
+    warm_socket_path: str | None = None,
+    chaos_seed: int = 0,
+    concurrency: int = 4,
+    requests_per_client: int = 25,
+    vector_pool: int = 16,
+    encoding: str = "bin",
+    timeout: float = 60.0,
+    attempt_deadline_s: float = 5.0,
+    total_deadline_s: float = 120.0,
+    max_attempts: int = 10,
+    hedge: bool = False,
+    inject_kill: bool = False,
+    p_slow: float = 0.0,
+    slow_ms: float = 2.0,
+    straggler_factor: float = 8.0,
+) -> ChaosSoakResult:
+    """Closed-loop soak through a chaos proxy with retrying clients.
+
+    *socket_path* is the chaos proxy's listen socket; *warm_socket_path*
+    (default: same) should be the server's direct socket so warm-up and
+    the reference build are not themselves chaos targets. Every session
+    is a :class:`RetryingClient` seeded from *chaos_seed*, so the retry
+    schedule — like the proxy's injections — replays exactly.
+
+    Semantic injections ride the request path: *inject_kill* stamps the
+    warm-up partition with a worker-kill fault (priced through
+    ``recovery_stats`` by the server), and each request independently
+    carries a slow-engine fault with seeded probability *p_slow* (priced
+    through ``straggler_overhead_seconds``). Both require the server to
+    run with ``allow_fault_injection``.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if not 0.0 <= p_slow <= 1.0:
+        raise ValueError(f"p_slow must be in [0, 1], got {p_slow}")
+
+    warm_path = warm_socket_path or socket_path
+    target = {"matrix": matrix, "method": method, "procs": procs, "seed": seed}
+    warm_msg: dict = {"op": "partition", **target}
+    if inject_kill:
+        warm_msg["fault"] = {"kill_worker": True}
+    with ServeClient(warm_path, timeout=timeout) as warm:
+        resp, _ = warm.request(warm_msg)
+        if not resp.get("ok"):
+            raise ProtocolError(f"warm-up partition failed: {resp.get('error')}")
+        n = int(resp["n"])
+        kills_executed = int(resp.get("worker_deaths", 0))
+
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    pool = rng.standard_normal((vector_pool, n))
+    engine, n_ref = reference_engine(matrix, method, procs, seed)
+    if n_ref != n:
+        raise ProtocolError(f"reference n={n_ref} != server n={n}")
+    expected = [engine.spmv(pool[i]) for i in range(vector_pool)]
+
+    barrier = threading.Barrier(concurrency + 1)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    totals = {
+        "requests": 0, "answered": 0, "failed": 0, "divergences": 0,
+        "lost_acked": 0, "deduped": 0, "retries": 0, "attempts": 0,
+        "hedges": 0, "shed_seen": 0, "draining_seen": 0,
+        "breaker_opens": 0, "slow_injected": 0,
+    }
+    failures: list[BaseException] = []
+
+    def session(client_id: int) -> None:
+        pick = np.random.default_rng(
+            np.random.SeedSequence((chaos_seed, client_id, 0x50AC))
+        )
+        lat: list[float] = []
+        counts = dict.fromkeys(totals, 0)
+        rc = RetryingClient(
+            socket_path,
+            seed=chaos_seed * 1000 + client_id,
+            max_attempts=max_attempts,
+            total_deadline_s=total_deadline_s,
+            attempt_deadline_s=attempt_deadline_s,
+            hedge=hedge,
+            connect_timeout_s=timeout,
+        )
+        try:
+            barrier.wait()
+            for _ in range(requests_per_client):
+                idx = int(pick.integers(vector_pool))
+                fault = None
+                if p_slow > 0 and float(pick.uniform()) < p_slow:
+                    fault = {"slow_ms": slow_ms,
+                             "straggler_factor": straggler_factor}
+                counts["requests"] += 1
+                t0 = time.perf_counter()
+                try:
+                    resp, y = rc.matvec(
+                        matrix, pool[idx], method=method, procs=procs,
+                        seed=seed, encoding=encoding, fault=fault,
+                    )
+                except ResilienceError:
+                    # visible failure: never acknowledged, never wrong
+                    counts["failed"] += 1
+                    continue
+                lat.append(time.perf_counter() - t0)
+                if not resp.get("ok"):
+                    counts["failed"] += 1
+                    continue
+                counts["answered"] += 1
+                if fault is not None and "slow_engine" in resp:
+                    counts["slow_injected"] += 1
+                if y is None:
+                    counts["lost_acked"] += 1
+                elif not np.array_equal(y, expected[idx]):
+                    counts["divergences"] += 1
+                    counts["lost_acked"] += 1
+        except BaseException as exc:
+            failures.append(exc)
+            barrier.abort()
+        finally:
+            rc.close()
+            with lock:
+                latencies.extend(lat)
+                for k in ("deduped", "retries", "attempts", "hedges",
+                          "shed_seen", "draining_seen"):
+                    counts[k] += rc.stats[k]
+                counts["breaker_opens"] += rc.breaker.opens
+                for k in totals:
+                    totals[k] += counts[k]
+
+    threads = [
+        threading.Thread(
+            target=session, args=(i,), name=f"chaos-soak-{i}", daemon=True
+        )
+        for i in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t_start = time.perf_counter()
+    for t in threads:
+        t.join(timeout + total_deadline_s * requests_per_client)
+    elapsed = time.perf_counter() - t_start
+    if failures:
+        raise failures[0]
+
+    lat_ms = np.asarray(latencies) * 1e3 if latencies else np.zeros(1)
+    semantic = {
+        "kill_worker": kills_executed,
+        "slow_engine": totals["slow_injected"],
+    }
+    return ChaosSoakResult(
+        matrix=matrix,
+        method=method,
+        procs=procs,
+        seed=seed,
+        chaos_seed=chaos_seed,
+        concurrency=concurrency,
+        requests=totals["requests"],
+        answered=totals["answered"],
+        failed=totals["failed"],
+        divergences=totals["divergences"],
+        lost_acked=totals["lost_acked"],
+        deduped=totals["deduped"],
+        retries=totals["retries"],
+        attempts=totals["attempts"],
+        hedges=totals["hedges"],
+        shed_seen=totals["shed_seen"],
+        draining_seen=totals["draining_seen"],
+        breaker_opens=totals["breaker_opens"],
+        elapsed_seconds=elapsed,
+        throughput_rps=totals["answered"] / elapsed if elapsed > 0 else 0.0,
+        mean_ms=float(lat_ms.mean()),
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+        max_ms=float(lat_ms.max()),
+        injected_semantic=semantic,
     )

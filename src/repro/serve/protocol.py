@@ -25,20 +25,39 @@ The same messages run over a unix stream socket (framing as described)
 or over HTTP (``POST /rpc`` with the JSON object as the body, base64 or
 array vectors only — HTTP clients tend to be browsers and curl, which
 prefer self-contained bodies).
+
+**Frame integrity.** Every framed message carries a ``crc`` field: a
+CRC-32 over the canonical (sorted-key, compact) JSON serialization of
+the message *without* the ``crc`` field, concatenated with the binary
+payload. Receivers that find a ``crc`` recompute and compare, so a
+corrupted byte anywhere in the frame — the JSON line, the crc digits
+themselves, or the raw float64 payload — surfaces as a
+:class:`ProtocolError`, never as silently wrong data. This is the
+detection point the chaos harness (:mod:`repro.serve.chaos`) attacks:
+its corruption injections must *always* be caught here (or upstream by
+the JSON parser), because a float64 payload with flipped bits is
+otherwise a perfectly valid vector. Frames without ``crc`` (external
+HTTP clients) are accepted unverified.
 """
 
 from __future__ import annotations
 
 import base64
+import itertools
 import json
 import socket
+import zlib
 from typing import Any
 
 import numpy as np
 
 __all__ = [
     "ProtocolError",
+    "DeadlineExceeded",
     "MAX_LINE_BYTES",
+    "frame_digest",
+    "verify_frame",
+    "encode_frame",
     "encode_vector",
     "decode_vector",
     "encode_message",
@@ -55,6 +74,54 @@ class ProtocolError(ValueError):
     """A malformed request or response (bad JSON, bad frame, bad field)."""
 
 
+class DeadlineExceeded(ProtocolError):
+    """A per-request deadline expired before the response arrived.
+
+    Distinct from :class:`ProtocolError` proper so callers can report
+    timed-out requests as their own outcome class (the load generator's
+    summary) or as a retryable-with-fresh-connection failure (the
+    :class:`~repro.serve.resilience.RetryingClient`). A timed-out
+    connection is poisoned — the response may still arrive mid-frame —
+    so the socket must be discarded, never reused.
+    """
+
+
+def frame_digest(msg: dict, payload: bytes | None = None) -> int:
+    """CRC-32 of one frame: canonical JSON of *msg* (sans ``crc``) + payload.
+
+    The canonical form (sorted keys, compact separators) makes the digest
+    a pure function of the message *content*, so the receiver — who only
+    has the parsed dict — can recompute it byte-for-byte.
+    """
+    body = json.dumps(
+        {k: v for k, v in msg.items() if k != "crc"},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    return zlib.crc32(body + (payload or b"")) & 0xFFFFFFFF
+
+
+def verify_frame(msg: dict, payload: bytes | None = None) -> None:
+    """Check *msg*'s ``crc`` against its content; raise on mismatch.
+
+    Frames without a ``crc`` field pass unverified (external clients).
+    """
+    crc = msg.get("crc")
+    if crc is None:
+        return
+    if not isinstance(crc, int) or crc != frame_digest(msg, payload):
+        raise ProtocolError(
+            "frame integrity check failed: crc mismatch (corrupted frame)"
+        )
+
+
+def encode_frame(msg: dict, payload: bytes = b"") -> bytes:
+    """Serialize one integrity-checked frame: JSON line + raw payload."""
+    out = {k: v for k, v in msg.items() if k != "crc"}
+    out["crc"] = frame_digest(out, payload)
+    return json.dumps(out, separators=(",", ":")).encode("utf-8") + b"\n" + payload
+
+
 def encode_vector(msg: dict, y: np.ndarray, encoding: str) -> bytes:
     """Finish *msg* with vector *y* in *encoding*; return the wire bytes.
 
@@ -62,18 +129,17 @@ def encode_vector(msg: dict, y: np.ndarray, encoding: str) -> bytes:
     encoding, so responses mirror it).
     """
     y = np.ascontiguousarray(y, dtype=np.float64)
+    payload = b""
     if encoding == "list":
         msg["y"] = y.tolist()
-        payload = b""
     elif encoding == "b64":
         msg["y_b64"] = base64.b64encode(y.tobytes()).decode("ascii")
-        payload = b""
     elif encoding == "bin":
         payload = y.tobytes()
         msg["bin"] = len(payload)
     else:
         raise ProtocolError(f"unknown vector encoding {encoding!r}")
-    return encode_message(msg) + payload
+    return encode_frame(msg, payload)
 
 
 def decode_vector(msg: dict, payload: bytes | None, n: int | None = None):
@@ -105,8 +171,8 @@ def decode_vector(msg: dict, payload: bytes | None, n: int | None = None):
 
 
 def encode_message(msg: dict) -> bytes:
-    """One JSON line (no binary payload appended)."""
-    return json.dumps(msg, separators=(",", ":")).encode("utf-8") + b"\n"
+    """One integrity-checked JSON line (no binary payload appended)."""
+    return encode_frame(msg, b"")
 
 
 async def read_message(reader) -> tuple[dict, bytes | None] | None:
@@ -133,7 +199,13 @@ async def read_message(reader) -> tuple[dict, bytes | None] | None:
         if not isinstance(nbytes, int) or nbytes < 0 or nbytes > MAX_LINE_BYTES:
             raise ProtocolError(f"bad binary frame size {nbytes!r}")
         payload = await reader.readexactly(nbytes)
+    verify_frame(msg, payload)
     return msg, payload
+
+
+#: Process-wide counter distinguishing client instances, so two clients in
+#: one process never mint the same auto-generated request id.
+_CLIENT_SEQ = itertools.count()
 
 
 class ServeClient:
@@ -142,13 +214,28 @@ class ServeClient:
     One client wraps one connection; it is not thread-safe (the load
     generator opens one client per concurrent session, which is also what
     gives the server distinct requests to coalesce).
+
+    Every request without an explicit ``id`` gets a monotonic unique one
+    (``c<instance>-<seq>``) — the server rejects duplicate in-flight ids
+    on a connection, and unique ids are the foundation the idempotency
+    table builds on. *timeout* is the connect/default socket timeout; a
+    per-request ``deadline`` can be passed to :meth:`request`, and its
+    expiry raises :class:`DeadlineExceeded` (after which the connection
+    must be discarded — the stale response may still arrive mid-frame).
     """
 
     def __init__(self, socket_path: str, timeout: float = 60.0):
+        self._timeout = timeout
+        self._id_prefix = f"c{next(_CLIENT_SEQ)}"
+        self._seq = itertools.count()
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self._sock.settimeout(timeout)
         self._sock.connect(socket_path)
         self._rfile = self._sock.makefile("rb")
+
+    def next_id(self) -> str:
+        """Mint the next monotonic unique request id for this client."""
+        return f"{self._id_prefix}-{next(self._seq)}"
 
     def close(self) -> None:
         try:
@@ -163,30 +250,49 @@ class ServeClient:
         self.close()
 
     def request(
-        self, msg: dict, x: np.ndarray | None = None, encoding: str = "bin"
+        self,
+        msg: dict,
+        x: np.ndarray | None = None,
+        encoding: str = "bin",
+        deadline: float | None = None,
     ) -> tuple[dict, np.ndarray | None]:
         """Send one request; block for its response.
 
         *x*, when given, rides in *encoding* (``bin``/``b64``/``list``).
-        Returns ``(response, vector)`` with the response's vector decoded
-        from whichever encoding the server chose (it mirrors ours).
+        *deadline*, when given, bounds this request's wall time (socket
+        timeout for the send+receive), raising :class:`DeadlineExceeded`
+        on expiry. Returns ``(response, vector)`` with the response's
+        vector decoded from whichever encoding the server chose (it
+        mirrors ours).
         """
         msg = dict(msg)
+        if "id" not in msg:
+            msg["id"] = self.next_id()
+        payload = b""
         if x is not None:
             x = np.ascontiguousarray(x, dtype=np.float64)
             if encoding == "bin":
-                msg["bin"] = x.nbytes
+                payload = x.tobytes()
+                msg["bin"] = len(payload)
             elif encoding == "b64":
                 msg["x_b64"] = base64.b64encode(x.tobytes()).decode("ascii")
             elif encoding == "list":
                 msg["x"] = x.tolist()
             else:
                 raise ProtocolError(f"unknown vector encoding {encoding!r}")
-        data = encode_message(msg)
-        if x is not None and encoding == "bin":
-            data += x.tobytes()
-        self._sock.sendall(data)
-        return self._read_response()
+        data = encode_frame(msg, payload)
+        if deadline is not None:
+            self._sock.settimeout(max(deadline, 1e-3))
+        try:
+            self._sock.sendall(data)
+            return self._read_response()
+        except TimeoutError as exc:
+            raise DeadlineExceeded(
+                f"request {msg['id']!r} exceeded its deadline of {deadline}s"
+            ) from exc
+        finally:
+            if deadline is not None:
+                self._sock.settimeout(self._timeout)
 
     def _read_response(self) -> tuple[dict, np.ndarray | None]:
         line = self._rfile.readline(MAX_LINE_BYTES)
@@ -196,6 +302,8 @@ class ServeClient:
             resp: dict[str, Any] = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ProtocolError(f"bad JSON response: {exc}") from exc
+        if not isinstance(resp, dict):
+            raise ProtocolError("response must be a JSON object")
         payload = None
         nbytes = resp.get("bin", 0)
         if nbytes:
@@ -208,5 +316,6 @@ class ServeClient:
                 chunks.append(chunk)
                 remaining -= len(chunk)
             payload = b"".join(chunks)
+        verify_frame(resp, payload)
         y, _ = decode_vector(resp, payload)
         return resp, y

@@ -31,6 +31,24 @@ inline, see :mod:`~repro.serve.batching`). Request lifecycle:
     the same alpha-beta-gamma accounting the fault-tolerant runtime uses,
     so "what does losing a partition worker cost" is answerable in the
     same unit as every other number in this repo.
+
+**resilience semantics** (what the chaos harness exercises)
+    Connections are *pipelined*: each framed request dispatches as its
+    own task, so several can be in flight per connection — which is what
+    makes duplicate in-flight ids detectable (rejected per connection)
+    and lets a retried request overlap its predecessor. Requests carrying
+    an ``idem`` key deduplicate through a bounded idempotency table: a
+    retry of an in-flight matvec awaits the original's future (never
+    double-batched), a retry of a completed one is answered from the
+    stored result (never recomputed). Work admission is bounded — per
+    engine by the micro-batcher's ``max_queue``, globally by
+    ``max_inflight`` — and refusals are explicit load-shedding responses
+    (``shed: true`` with a ``retry_after_s`` hint), never silent queueing.
+    Shutdown is a *graceful drain*: in-flight requests (including cold
+    engine builds) complete, new work is refused with ``draining: true``,
+    and the listener stops only once the in-flight count hits zero (or
+    the drain grace expires). The health endpoint reports the resulting
+    state machine: ``ok`` / ``degraded`` (a recent shed) / ``draining``.
 """
 
 from __future__ import annotations
@@ -39,6 +57,7 @@ import asyncio
 import json
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from threading import Event as ThreadEvent
@@ -48,7 +67,7 @@ import numpy as np
 
 from ..parallel import PoolTaskFailed, ResilientPool
 from ..perf import SpanRecorder
-from .batching import MicroBatcher
+from .batching import MicroBatcher, QueueFull
 from .protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -128,6 +147,16 @@ class ServeConfig:
     cache_dir: str | None = None  # None = $REPRO_CACHE_DIR / default
     allow_fault_injection: bool = False
     preload: tuple[str, ...] = ()
+    #: per-engine pending-request bound before load shedding
+    max_queue: int = 128
+    #: global in-flight work bound (matvec + partition) before shedding
+    max_inflight: int = 512
+    #: seconds a graceful drain waits for in-flight work before forcing stop
+    drain_grace_s: float = 30.0
+    #: completed idempotency-table entries kept for retry dedup (LRU)
+    idem_capacity: int = 4096
+    #: requests after the last shed during which health reports "degraded"
+    degraded_window: int = 100
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -136,6 +165,14 @@ class ServeConfig:
             raise ValueError("batch_deadline_ms must be >= 0")
         if self.partition_retries < 0:
             raise ValueError("partition_retries must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain_grace_s must be >= 0")
+        if self.idem_capacity < 1:
+            raise ValueError(f"idem_capacity must be >= 1, got {self.idem_capacity}")
 
 
 @dataclass
@@ -144,6 +181,22 @@ class _BuildOutcome:
 
     entry: ResidentEngine
     meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class _IdemEntry:
+    """One idempotency-table slot: in-flight future or completed answer.
+
+    While the original request computes, ``future`` is pending and every
+    retry awaits it (one computation, many answers). Once resolved, the
+    answer (``y`` plus the base response fields) is stored and the future
+    dropped; later retries are answered from storage, re-encoded in their
+    own wire encoding.
+    """
+
+    future: asyncio.Future | None = None
+    y: np.ndarray | None = None
+    base: dict | None = None
 
 
 class MatvecServer:
@@ -168,10 +221,17 @@ class MatvecServer:
             "errors": 0,
             "degraded": 0,
             "http_requests": 0,
+            "shed": 0,
+            "deduped": 0,
+            "duplicate_ids": 0,
         }
         self.fault_events: list[dict] = []
         self._matrices: dict[str, tuple[str, object, str]] = {}
         self._building: dict[EngineKey, asyncio.Task] = {}
+        self._idem: OrderedDict[str, _IdemEntry] = OrderedDict()
+        self._inflight_work = 0
+        self._draining = False
+        self._last_shed_request: int | None = None
         self._started_at = time.time()
         self._stop: asyncio.Event | None = None
         self._servers: list[asyncio.base_events.Server] = []
@@ -181,7 +241,7 @@ class MatvecServer:
     # -- lifecycle ---------------------------------------------------------
 
     async def serve(self, on_started=None) -> None:
-        """Listen until a ``shutdown`` request (or :meth:`request_stop`)."""
+        """Listen until a graceful drain completes (or :meth:`request_stop`)."""
         self._stop = asyncio.Event()
         sock_path = self.config.socket_path
         Path(sock_path).parent.mkdir(parents=True, exist_ok=True)
@@ -226,8 +286,64 @@ class MatvecServer:
             self.pool.shutdown()
 
     def request_stop(self) -> None:
-        """Ask the serve loop to wind down (thread-safe only via its loop)."""
+        """Stop immediately, abandoning in-flight work (loop thread only)."""
         if self._stop is not None:
+            self._stop.set()
+
+    def begin_drain(self) -> None:
+        """Start a graceful drain (loop thread only; idempotent).
+
+        New matvec/partition work is refused with ``draining: true`` from
+        this point on; pending micro-batches flush now; the listener stops
+        once the last in-flight request completes (a ``drain_grace_s``
+        timer forces the stop if something wedges).
+        """
+        if self._draining:
+            return
+        self._draining = True
+        for entry in self.residency.entries():
+            if entry.batcher is not None:
+                entry.batcher.drain()
+        if self._stop is not None:
+            if self._inflight_work == 0:
+                self._stop.set()
+            elif self.config.drain_grace_s > 0:
+                asyncio.get_running_loop().call_later(
+                    self.config.drain_grace_s, self._stop.set
+                )
+            else:
+                self._stop.set()
+
+    @property
+    def state(self) -> str:
+        """Health state: ``ok``, ``degraded`` (recent shed) or ``draining``."""
+        if self._draining:
+            return "draining"
+        if (
+            self._last_shed_request is not None
+            and self.counters["requests"] - self._last_shed_request
+            <= self.config.degraded_window
+        ):
+            return "degraded"
+        if self._inflight_work >= self.config.max_inflight:
+            return "degraded"
+        return "ok"
+
+    def _retry_after_s(self) -> float:
+        """Backpressure hint for shed/draining responses (seconds)."""
+        pending = max(
+            (e.batcher.pending for e in self.residency.entries() if e.batcher),
+            default=0,
+        )
+        deadline_s = self.config.batch_deadline_ms / 1e3
+        return round(max(deadline_s, 1e-3) * (1 + pending / self.config.max_batch), 6)
+
+    def _work_started(self) -> None:
+        self._inflight_work += 1
+
+    def _work_finished(self) -> None:
+        self._inflight_work -= 1
+        if self._draining and self._inflight_work == 0 and self._stop is not None:
             self._stop.set()
 
     # -- matrix + engine admission ----------------------------------------
@@ -375,6 +491,7 @@ class MatvecServer:
             dist.engine,
             max_batch=self.config.max_batch,
             deadline_s=self.config.batch_deadline_ms / 1e3,
+            max_pending=self.config.max_queue,
         )
         deaths = self.pool.deaths - deaths_before
         if deaths:
@@ -432,13 +549,20 @@ class MatvecServer:
             if op == "stats":
                 return encode_message(self._stats(rid))
             if op == "shutdown":
-                self.request_stop()
-                return encode_message({"id": rid, "ok": True, "op": "shutdown"})
+                if msg.get("mode") == "now":
+                    self.request_stop()
+                else:
+                    self.begin_drain()
+                return encode_message(
+                    {"id": rid, "ok": True, "op": "shutdown", "state": self.state}
+                )
             if op == "matvec":
                 return await self._handle_matvec(rid, msg, payload)
             if op == "partition":
                 return await self._handle_partition(rid, msg)
             raise ProtocolError(f"unknown op {op!r}")
+        except QueueFull as exc:
+            return self._shed_response(rid, str(exc))
         except ProtocolError as exc:
             self.counters["errors"] += 1
             return encode_message({"id": rid, "ok": False, "error": str(exc)})
@@ -448,14 +572,38 @@ class MatvecServer:
                 {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
             )
 
+    def _shed_response(self, rid, reason: str) -> bytes:
+        """Explicit load-shedding refusal with a backpressure hint."""
+        self.counters["shed"] += 1
+        self._last_shed_request = self.counters["requests"]
+        return encode_message({
+            "id": rid,
+            "ok": False,
+            "error": f"overloaded: {reason}",
+            "shed": True,
+            "retry_after_s": self._retry_after_s(),
+        })
+
+    def _draining_response(self, rid) -> bytes:
+        """Refusal for new work while a graceful drain is in progress."""
+        return encode_message({
+            "id": rid,
+            "ok": False,
+            "error": "server is draining: no new work accepted",
+            "draining": True,
+            "retry_after_s": self._retry_after_s(),
+        })
+
     def _health(self, rid) -> dict:
         self.counters["health"] += 1
         return {
             "id": rid,
             "ok": True,
             "op": "health",
+            "state": self.state,
             "resident": len(self.residency),
             "resident_bytes": self.residency.resident_bytes(),
+            "inflight": self._inflight_work,
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "requests": self.counters["requests"],
         }
@@ -476,9 +624,12 @@ class MatvecServer:
             "id": rid,
             "ok": True,
             "op": "stats",
+            "state": self.state,
             "counters": dict(self.counters),
             "resident": entries,
             "evictions": self.residency.evictions,
+            "inflight": self._inflight_work,
+            "idem_entries": len(self._idem),
             "pool": {"deaths": self.pool.deaths, "retries": self.pool.retries},
             "fault_events": list(self.fault_events),
         }
@@ -496,54 +647,185 @@ class MatvecServer:
             raise ProtocolError(f"seed must be an int, got {seed!r}")
         return matrix, str(method).lower(), procs, seed
 
-    def _fault_kill(self, msg: dict) -> bool:
+    def _fault_spec(self, msg: dict) -> dict:
+        """Validate and normalize a request's ``fault`` injection field."""
         fault = msg.get("fault")
         if not fault:
-            return False
+            return {"kill_worker": False, "slow_ms": 0.0, "straggler_factor": 1.0}
         if not self.config.allow_fault_injection:
             raise ProtocolError(
                 "fault injection not enabled (start the server with "
                 "allow_fault_injection)"
             )
-        return bool(fault.get("kill_worker"))
+        if not isinstance(fault, dict):
+            raise ProtocolError(f"fault must be an object, got {type(fault).__name__}")
+        slow_ms = float(fault.get("slow_ms") or 0.0)
+        factor = float(fault.get("straggler_factor") or 1.0)
+        if slow_ms < 0:
+            raise ProtocolError(f"fault.slow_ms must be >= 0, got {slow_ms}")
+        if factor < 1.0:
+            raise ProtocolError(f"fault.straggler_factor must be >= 1, got {factor}")
+        return {
+            "kill_worker": bool(fault.get("kill_worker")),
+            "slow_ms": slow_ms,
+            "straggler_factor": factor,
+        }
+
+    async def _inject_slow_engine(self, entry: ResidentEngine, fault: dict) -> dict:
+        """Stall one request like a straggling engine; price the overhead.
+
+        The real injected stall is ``slow_ms`` of event-loop sleep before
+        the request joins its micro-batch; the *modeled* price is what a
+        ``straggler_factor`` slowdown of one rank costs a distributed
+        SpMV under the machine model — the same unit PR 3's straggler
+        injections are priced in.
+        """
+        from ..runtime.faults import straggler_overhead_seconds
+
+        await asyncio.sleep(fault["slow_ms"] / 1e3)
+        modeled = straggler_overhead_seconds(
+            entry.dist, rank=0, factor=fault["straggler_factor"]
+        )
+        event = {
+            "kind": "slow-engine",
+            "matrix": entry.matrix,
+            "key": str(entry.key),
+            "slow_ms": fault["slow_ms"],
+            "straggler_factor": fault["straggler_factor"],
+            "modeled_overhead_seconds": modeled,
+        }
+        self.fault_events.append(event)
+        return {
+            "slow_ms": fault["slow_ms"],
+            "modeled_overhead_seconds": modeled,
+        }
+
+    async def _answer_from_idem(
+        self, rid, msg: dict, payload: bytes | None, idem: str, hit: _IdemEntry
+    ) -> bytes:
+        """Answer a retried matvec from the idempotency table.
+
+        In-flight original: await its future (one computation, N answers).
+        Completed original: re-encode the stored answer in *this* retry's
+        wire encoding. Either way the engine never sees the retry.
+        """
+        self.counters["deduped"] += 1
+        _, encoding = decode_vector(msg, payload)
+        if hit.y is None and hit.future is not None:
+            hit = await hit.future  # resolves to the completed entry
+        if idem in self._idem:
+            self._idem.move_to_end(idem)
+        resp = dict(hit.base or {})
+        resp["id"] = rid
+        resp["deduped"] = True
+        return encode_vector(resp, hit.y, encoding)
+
+    def _trim_idem(self) -> None:
+        """Evict oldest *completed* idempotency entries beyond capacity."""
+        while len(self._idem) > self.config.idem_capacity:
+            stale = next(
+                (k for k, e in self._idem.items() if e.y is not None), None
+            )
+            if stale is None:  # everything pending; bounded by max_inflight
+                break
+            del self._idem[stale]
 
     async def _handle_matvec(self, rid, msg: dict, payload: bytes | None) -> bytes:
         t_arrival = time.perf_counter()
         self.counters["matvec"] += 1
-        matrix, method, procs, seed = self._request_target(msg)
-        fault_kill = self._fault_kill(msg)
-        name, A, mhash = await self._load_matrix(matrix)
-        x, encoding = decode_vector(msg, payload, n=A.shape[0])
-        if x is None:
-            raise ProtocolError("matvec needs a vector (bin frame, x_b64 or x)")
-        outcome = await self._ensure_engine(
-            name, A, mhash, method, procs, seed, fault_kill
-        )
-        entry = outcome.entry
-        recorder = SpanRecorder()
-        recorder.mark_since("queue", t_arrival)
-        y, batch_size = await entry.batcher.submit(x, recorder)
-        resp = {
-            "id": rid,
+        idem = msg.get("idem")
+        if idem is not None:
+            if not isinstance(idem, str) or not idem:
+                raise ProtocolError("idem key must be a non-empty string")
+            hit = self._idem.get(idem)
+            if hit is not None:
+                # dedup outranks drain/shed: a retry of accepted work must
+                # still be answerable, or acked work could be lost
+                return await self._answer_from_idem(rid, msg, payload, idem, hit)
+        if self._draining:
+            return self._draining_response(rid)
+        if self._inflight_work >= self.config.max_inflight:
+            return self._shed_response(
+                rid,
+                f"{self._inflight_work} request(s) in flight "
+                f"(bound {self.config.max_inflight})",
+            )
+        fut: asyncio.Future | None = None
+        if idem is not None:
+            fut = asyncio.get_running_loop().create_future()
+            self._idem[idem] = _IdemEntry(future=fut)
+        self._work_started()
+        try:
+            matrix, method, procs, seed = self._request_target(msg)
+            fault = self._fault_spec(msg)
+            name, A, mhash = await self._load_matrix(matrix)
+            x, encoding = decode_vector(msg, payload, n=A.shape[0])
+            if x is None:
+                raise ProtocolError("matvec needs a vector (bin frame, x_b64 or x)")
+            outcome = await self._ensure_engine(
+                name, A, mhash, method, procs, seed, fault["kill_worker"]
+            )
+            entry = outcome.entry
+            slow_meta = None
+            if fault["slow_ms"]:
+                slow_meta = await self._inject_slow_engine(entry, fault)
+            recorder = SpanRecorder()
+            recorder.mark_since("queue", t_arrival)
+            y, batch_size = await entry.batcher.submit(x, recorder)
+        except BaseException as exc:
+            if idem is not None:
+                self._idem.pop(idem, None)
+                if fut is not None and not fut.done():
+                    fut.set_exception(
+                        exc if isinstance(exc, Exception) else RuntimeError(repr(exc))
+                    )
+                    fut.exception()  # no retry may be waiting; mark retrieved
+            raise
+        finally:
+            self._work_finished()
+        base = {
             "ok": True,
             "op": "matvec",
             "n": entry.n,
             "engine_key": str(entry.key),
             "batch_size": batch_size,
-            "spans_ms": recorder.as_millis(),
         }
-        resp.update({k: v for k, v in outcome.meta.items() if k != "cold"})
-        resp["cold"] = outcome.meta.get("cold", False)
+        base.update({k: v for k, v in outcome.meta.items() if k != "cold"})
+        base["cold"] = outcome.meta.get("cold", False)
+        if slow_meta is not None:
+            base["slow_engine"] = slow_meta
+        if idem is not None:
+            done = _IdemEntry(y=y, base=dict(base))
+            self._idem[idem] = done
+            self._idem.move_to_end(idem)
+            self._trim_idem()
+            if fut is not None and not fut.done():
+                fut.set_result(done)
+        resp = dict(base)
+        resp["id"] = rid
+        resp["spans_ms"] = recorder.as_millis()
         return encode_vector(resp, y, encoding)
 
     async def _handle_partition(self, rid, msg: dict) -> bytes:
         self.counters["partition"] += 1
-        matrix, method, procs, seed = self._request_target(msg)
-        fault_kill = self._fault_kill(msg)
-        name, A, mhash = await self._load_matrix(matrix)
-        outcome = await self._ensure_engine(
-            name, A, mhash, method, procs, seed, fault_kill
-        )
+        if self._draining:
+            return self._draining_response(rid)
+        if self._inflight_work >= self.config.max_inflight:
+            return self._shed_response(
+                rid,
+                f"{self._inflight_work} request(s) in flight "
+                f"(bound {self.config.max_inflight})",
+            )
+        self._work_started()
+        try:
+            matrix, method, procs, seed = self._request_target(msg)
+            fault = self._fault_spec(msg)
+            name, A, mhash = await self._load_matrix(matrix)
+            outcome = await self._ensure_engine(
+                name, A, mhash, method, procs, seed, fault["kill_worker"]
+            )
+        finally:
+            self._work_finished()
         resp = {
             "id": rid,
             "ok": True,
@@ -559,28 +841,76 @@ class MatvecServer:
     # -- transports --------------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
-        """One unix-socket connection: framed JSON lines until EOF."""
+        """One unix-socket connection: framed JSON lines until EOF.
+
+        The connection is *pipelined*: each framed request dispatches as
+        its own task, so a client may have several requests in flight on
+        one socket (responses carry the request's ``id``; arrival order is
+        not guaranteed under pipelining). Duplicate in-flight ids on the
+        same connection are rejected immediately — an ambiguous response
+        stream is worse than a refused request. Each response is a single
+        ``write`` behind a lock, so frames never interleave.
+        """
+        inflight_ids: set = set()
+        tasks: set[asyncio.Task] = set()
+        write_lock = asyncio.Lock()
+
+        async def send(data: bytes) -> None:
+            async with write_lock:
+                if writer.transport.is_closing():
+                    return
+                writer.write(data)
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass  # client went away; nothing to answer
+
+        async def respond(msg: dict, payload: bytes | None, rid) -> None:
+            try:
+                await send(await self._dispatch(msg, payload))
+            finally:
+                if rid is not None:
+                    inflight_ids.discard(rid)
+
         try:
             while True:
                 try:
                     framed = await read_message(reader)
                 except (ProtocolError, asyncio.IncompleteReadError) as exc:
                     self.counters["errors"] += 1
-                    writer.write(
-                        encode_message({"ok": False, "error": str(exc)})
-                    )
-                    await writer.drain()
+                    await send(encode_message({"ok": False, "error": str(exc)}))
                     break
                 if framed is None:
                     break
                 msg, payload = framed
-                writer.write(await self._dispatch(msg, payload))
-                await writer.drain()
+                rid = msg.get("id")
+                if rid is not None:
+                    if rid in inflight_ids:
+                        self.counters["duplicate_ids"] += 1
+                        await send(encode_message({
+                            "id": rid,
+                            "ok": False,
+                            "error": (
+                                f"duplicate in-flight id {rid!r} on this "
+                                "connection (use unique ids; retries should "
+                                "carry an 'idem' key, not reuse a live id)"
+                            ),
+                        }))
+                        continue
+                    inflight_ids.add(rid)
+                task = asyncio.ensure_future(respond(msg, payload, rid))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; nothing to answer
         except asyncio.CancelledError:
             pass  # loop shutdown cancels in-flight readers; close quietly
         finally:
+            try:
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+            except asyncio.CancelledError:
+                pass
             writer.close()
 
     async def _handle_http_connection(self, reader, writer) -> None:
@@ -667,26 +997,50 @@ class ServerHandle:
     def http_port(self) -> int | None:
         return self.server.http_port
 
-    def stop(self, timeout: float = 30.0) -> None:
-        """Request shutdown and join the loop thread (idempotent)."""
+    def stop(self, timeout: float = 30.0, *, drain: bool = True) -> None:
+        """Shut down and join the loop thread (idempotent).
+
+        With ``drain`` (the default) this asks for a graceful drain —
+        in-flight work completes, new work is refused — and escalates to
+        an immediate stop if the drain has not finished within *timeout*.
+        A thread still alive after both attempts is a hung shutdown and
+        **raises** with a diagnostic (it must never pass as a clean exit).
+        """
         if self._thread.is_alive():
             try:
-                self._loop.call_soon_threadsafe(self.server.request_stop)
+                self._loop.call_soon_threadsafe(
+                    self.server.begin_drain if drain else self.server.request_stop
+                )
             except RuntimeError:
                 pass  # loop already closed
         self._thread.join(timeout)
+        if self._thread.is_alive() and drain:
+            # graceful drain wedged; escalate to an immediate stop
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass
+            self._thread.join(timeout)
         if self._thread.is_alive():
-            raise RuntimeError("server thread did not stop in time")
+            raise RuntimeError(
+                f"server thread {self._thread.name!r} did not stop within "
+                f"{timeout}s (state={self.server.state}, "
+                f"inflight={self.server._inflight_work}) — hung shutdown"
+            )
 
 
-def start_in_thread(config: ServeConfig, timeout: float = 60.0) -> ServerHandle:
+def start_in_thread(
+    config: ServeConfig, timeout: float = 60.0, server: MatvecServer | None = None
+) -> ServerHandle:
     """Boot a :class:`MatvecServer` on a daemon thread; wait until it listens.
 
     Raises if the server fails to come up (the thread's exception is
     re-raised in the caller) — a bench or test never hangs on a server
-    that died during startup.
+    that died during startup. A prebuilt *server* instance (e.g. a test
+    subclass) may be supplied; *config* is ignored in that case.
     """
-    server = MatvecServer(config)
+    if server is None:
+        server = MatvecServer(config)
     ready = ThreadEvent()
     box: dict = {}
 

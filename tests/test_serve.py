@@ -596,3 +596,299 @@ def test_engine_nbytes(small_rmat):
     assert base > 0
     engine._abft_operators()  # ABFT operators count once they exist
     assert engine.nbytes > base
+
+
+# ---------------------------------------------------------------------------
+# ids, deadlines, frame integrity
+# ---------------------------------------------------------------------------
+
+
+def test_client_ids_monotonic_and_distinct_across_clients(serve_env):
+    with ServeClient(serve_env["sock"]) as a, ServeClient(serve_env["sock"]) as b:
+        ids_a = [a.next_id() for _ in range(4)]
+        ids_b = [b.next_id() for _ in range(4)]
+        assert len(set(ids_a) | set(ids_b)) == 8  # never collide
+        # and a request without an explicit id gets one assigned
+        resp, _ = a.request({"op": "health"})
+        assert isinstance(resp["id"], str) and resp["id"].startswith(
+            ids_a[0].rsplit("-", 1)[0]
+        )
+
+
+def test_duplicate_inflight_id_rejected(serve_env):
+    """Two frames with one id on one connection: the second is refused
+    while the first is still in flight (held there by a slow fault)."""
+    import socket as socket_mod
+
+    n = serve_env["A"].shape[0]
+    slow = {
+        "op": "matvec",
+        "matrix": serve_env["mtx"],
+        "procs": PROCS,
+        "seed": 0,
+        "id": "dup-1",
+        "x": list(np.random.default_rng(5).standard_normal(n)),
+        "fault": {"slow_ms": 400.0},
+    }
+    again = {"op": "health", "id": "dup-1"}
+    with socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM) as s:
+        s.settimeout(30.0)
+        s.connect(serve_env["sock"])
+        s.sendall(encode_message(slow) + encode_message(again))
+        rfile = s.makefile("rb")
+        first = json.loads(rfile.readline())
+        second = json.loads(rfile.readline())
+    # pipelining: the duplicate refusal overtakes the slow matvec
+    assert first["id"] == "dup-1" and not first["ok"]
+    assert "duplicate in-flight id" in first["error"]
+    assert second["id"] == "dup-1" and second["ok"]  # the matvec completes
+
+
+def test_request_deadline_separate_from_connect_timeout(serve_env):
+    """A per-request deadline expires on a slow response while the
+    connection-level timeout (much larger) never fires."""
+    from repro.serve import DeadlineExceeded
+
+    n = serve_env["A"].shape[0]
+    x = np.random.default_rng(6).standard_normal(n)
+    with ServeClient(serve_env["sock"], timeout=300.0) as c:
+        _matvec(c, serve_env, x)  # warm
+        with pytest.raises(DeadlineExceeded):
+            c.request(
+                {"op": "matvec", "matrix": serve_env["mtx"], "procs": PROCS,
+                 "seed": 0, "fault": {"slow_ms": 500.0}},
+                x=x,
+                deadline=0.05,
+            )
+
+
+def test_corrupted_frame_detected_by_crc():
+    from repro.serve.protocol import encode_frame, frame_digest, verify_frame
+
+    msg = {"op": "matvec", "id": "z-1", "bin": 8}
+    payload = b"\x01\x02\x03\x04\x05\x06\x07\x08"
+    wire = encode_frame(msg, payload)
+    line, _, body = wire.partition(b"\n")
+    parsed = json.loads(line)
+    verify_frame(parsed, body)  # clean frame passes
+
+    flipped = dict(parsed)
+    flipped["bin"] = 9  # any single-field mutation breaks the digest
+    with pytest.raises(ProtocolError, match="crc mismatch"):
+        verify_frame(flipped, body)
+    with pytest.raises(ProtocolError, match="crc mismatch"):
+        verify_frame(parsed, body[:-1] + b"\x00")
+    # frames without a crc (external HTTP clients) pass unverified
+    verify_frame({"op": "health"}, None)
+    assert frame_digest(msg, payload) == parsed["crc"]
+
+
+# ---------------------------------------------------------------------------
+# admission control and graceful drain
+# ---------------------------------------------------------------------------
+
+
+def test_graceful_drain_completes_inflight_batch(serve_env):
+    """Shutdown mid-micro-batch: the queued matvec still completes with
+    correct bits; new work after the drain begins is refused."""
+    tmp = _short_tmpdir()
+    config = ServeConfig(
+        socket_path=os.path.join(tmp, "d.sock"),
+        max_batch=8,
+        batch_deadline_ms=250.0,  # long deadline holds the batch open
+        allow_fault_injection=True,
+    )
+    handle = start_in_thread(config)
+    n = serve_env["A"].shape[0]
+    x = np.random.default_rng(7).standard_normal(n)
+    engine, _ = reference_engine(serve_env["mtx"], "2d-gp", PROCS, 0)
+    expected = engine.spmv(x)
+    out: dict[str, tuple] = {}
+    try:
+        with ServeClient(config.socket_path, timeout=300.0) as warm:
+            resp, _ = warm.request(
+                {"op": "partition", "matrix": serve_env["mtx"],
+                 "procs": PROCS, "seed": 0}
+            )
+            assert resp["ok"], resp
+
+        def inflight(tag, **extra):
+            with ServeClient(config.socket_path, timeout=60.0) as c:
+                out[tag] = c.request(
+                    {"op": "matvec", "matrix": serve_env["mtx"],
+                     "procs": PROCS, "seed": 0, **extra},
+                    x=x,
+                )
+
+        # one request parked in the open micro-batch (250 ms deadline),
+        # one held by a slow-engine fault: the latter keeps the server
+        # alive long enough to observe the refusal deterministically
+        batched = threading.Thread(target=inflight, args=("batched",))
+        slow = threading.Thread(
+            target=inflight, args=("slow",),
+            kwargs={"fault": {"slow_ms": 700.0}},
+        )
+        batched.start()
+        slow.start()
+        time.sleep(0.1)  # both in flight, batch deadline not yet hit
+        with ServeClient(config.socket_path, timeout=30.0) as c:
+            resp, _ = c.request({"op": "shutdown"})
+            assert resp["ok"] and resp["state"] == "draining"
+            refused, _ = _matvec(c, serve_env, x)
+        batched.join(30)
+        slow.join(30)
+        for tag in ("batched", "slow"):
+            resp, y = out[tag]
+            assert resp["ok"], resp
+            assert np.array_equal(y, expected)  # drained, not dropped
+        assert not refused["ok"] and refused["draining"] is True
+        assert refused["retry_after_s"] > 0
+    finally:
+        handle.stop(timeout=30.0)
+    assert not os.path.exists(config.socket_path)
+
+
+def test_graceful_drain_during_cold_engine_build(serve_env):
+    """Shutdown while an engine is still building: the build finishes,
+    the triggering matvec is answered, and only then does the loop stop."""
+    from repro.serve.server import MatvecServer
+
+    class SlowBuildServer(MatvecServer):
+        async def _build_engine(self, *args, **kwargs):
+            await asyncio.sleep(0.3)  # hold the build so the drain races it
+            return await super()._build_engine(*args, **kwargs)
+
+    tmp = _short_tmpdir()
+    config = ServeConfig(
+        socket_path=os.path.join(tmp, "cold.sock"),
+        allow_fault_injection=True,
+        cache_dir=serve_env["cache_dir"],
+    )
+    handle = start_in_thread(config, server=SlowBuildServer(config))
+    n = serve_env["A"].shape[0]
+    x = np.random.default_rng(8).standard_normal(n)
+    out: dict[str, tuple] = {}
+    try:
+
+        def cold():
+            with ServeClient(config.socket_path, timeout=300.0) as c:
+                out["resp"], out["y"] = _matvec(c, serve_env, x)
+
+        t = threading.Thread(target=cold)
+        t.start()
+        time.sleep(0.1)  # inside the delayed _build_engine
+        with ServeClient(config.socket_path, timeout=30.0) as c:
+            resp, _ = c.request({"op": "shutdown"})
+            assert resp["ok"] and resp["state"] == "draining"
+        t.join(60)
+        assert out["resp"]["ok"], out["resp"]
+        assert out["resp"]["cold"] is True
+        engine, _ = reference_engine(serve_env["mtx"], "2d-gp", PROCS, 0)
+        assert np.array_equal(out["y"], engine.spmv(x))
+    finally:
+        handle.stop(timeout=60.0)
+    assert not os.path.exists(config.socket_path)
+
+
+def test_micro_batcher_sheds_over_bound():
+    from repro.serve.batching import QueueFull
+
+    async def scenario():
+        b = MicroBatcher(_FakeEngine(), max_batch=8, deadline_s=60.0, max_pending=2)
+        waiting = [
+            asyncio.ensure_future(b.submit(np.zeros(4), SpanRecorder()))
+            for _ in range(2)
+        ]
+        await asyncio.sleep(0)  # let both enqueue
+        assert b.pending == 2
+        with pytest.raises(QueueFull) as err:
+            await b.submit(np.zeros(4), SpanRecorder())
+        assert err.value.pending == 2 and err.value.max_pending == 2
+        assert b.shed == 1
+        b.drain()
+        await asyncio.gather(*waiting)
+        return b
+
+    b = asyncio.run(scenario())
+    assert b.flushes["drain"] == 1 and b.matvecs == 2
+
+
+def test_health_reports_degraded_after_shed(serve_env):
+    tmp = _short_tmpdir()
+    config = ServeConfig(
+        socket_path=os.path.join(tmp, "shed.sock"),
+        max_batch=2,
+        batch_deadline_ms=200.0,
+        max_queue=1,
+        allow_fault_injection=True,
+    )
+    handle = start_in_thread(config)
+    n = serve_env["A"].shape[0]
+    rng = np.random.default_rng(9)
+    xs = rng.standard_normal((6, n))
+    try:
+        with ServeClient(config.socket_path, timeout=300.0) as warm:
+            resp, _ = warm.request(
+                {"op": "partition", "matrix": serve_env["mtx"],
+                 "procs": PROCS, "seed": 0}
+            )
+            assert resp["ok"], resp
+
+        sheds: list[dict] = []
+        oks: list[dict] = []
+
+        def fire(i):
+            with ServeClient(config.socket_path, timeout=60.0) as c:
+                resp, _ = _matvec(c, serve_env, xs[i])
+                (sheds if resp.get("shed") else oks).append(resp)
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert sheds, "queue bound of 1 never shed under 6 concurrent requests"
+        assert all(s["retry_after_s"] > 0 for s in sheds)
+        assert all(not s["ok"] for s in sheds)
+        assert oks and all(o["ok"] for o in oks)
+        with ServeClient(config.socket_path, timeout=30.0) as c:
+            health, _ = c.request({"op": "health"})
+            stats, _ = c.request({"op": "stats"})
+        assert health["state"] == "degraded"  # recent shed within the window
+        assert stats["counters"]["shed"] == len(sheds)
+    finally:
+        with ServeClient(config.socket_path, timeout=10.0) as c:
+            c.request({"op": "shutdown"})
+        handle.stop()
+
+
+def test_server_handle_stop_raises_on_hung_thread():
+    """A thread that will not die must raise, never pass silently."""
+    from repro.serve.server import ServerHandle
+
+    class HungThread:
+        name = "hung-serve"
+
+        def is_alive(self):
+            return True
+
+        def join(self, timeout=None):
+            pass
+
+    class DeadLoop:
+        def call_soon_threadsafe(self, fn):
+            raise RuntimeError("Event loop is closed")
+
+    class StuckServer:
+        state = "draining"
+        _inflight_work = 3
+
+        def begin_drain(self):
+            pass
+
+        def request_stop(self):
+            pass
+
+    handle = ServerHandle(StuckServer(), HungThread(), DeadLoop())
+    with pytest.raises(RuntimeError, match="hung shutdown"):
+        handle.stop(timeout=0.01)
