@@ -77,15 +77,22 @@ def _soak(socket_path, warm_path, matrix, procs, seed, chaos_seed,
 
 
 def _evict_rpart(matrix: str, procs: int, seed: int) -> None:
-    """Drop any cached partition for (matrix, procs, seed): force cold."""
+    """Drop the cached partition AND engine artifact: force a cold build.
+
+    Both must go — an engine-store hit would skip the pool partition
+    entirely, so a kill injection stamped on the warm-up request would
+    never fire on a warm rerun.
+    """
     from repro.bench.harness import _matrix_hash, default_cache_dir
     from repro.generators.corpus import CORPUS, load_corpus_matrix
+    from repro.runtime.store import EngineKey, EngineStore
 
     kind = CORPUS[matrix].partitioner
     mhash = _matrix_hash(load_corpus_matrix(matrix))
     (default_cache_dir() / f"{mhash}_{kind}_k{procs}_s{seed}.npy").unlink(
         missing_ok=True
     )
+    EngineStore().evict(EngineKey(mhash, f"2d-{kind}", procs, seed))
 
 
 def run(smoke: bool, concurrency: int, chaos_seed: int,

@@ -155,6 +155,12 @@ def run(
         fault_hash = _matrix_hash(load_corpus_matrix(fault_matrix))
         (default_cache_dir() / f"{fault_hash}_{fault_kind}_k{fault_procs}_s9999.npy"
          ).unlink(missing_ok=True)
+        # ... and the engine artifact for the same key: a store hit would
+        # skip the partition entirely and the injection would never fire
+        from repro.runtime.store import EngineKey, EngineStore
+
+        fault_method = f"2d-{fault_kind}"
+        EngineStore().evict(EngineKey(fault_hash, fault_method, fault_procs, 9999))
         t0 = time.perf_counter()
         with ServeClient(sock, timeout=600.0) as c:
             resp, _ = c.request({

@@ -17,7 +17,6 @@ Reproduces the paper's experimental procedure:
 
 from __future__ import annotations
 
-import hashlib
 import os
 from dataclasses import dataclass
 from functools import lru_cache
@@ -33,6 +32,7 @@ from ..partitioning import partition_matrix
 from ..partitioning.kway import derive_nested_partition, kway_balance_refine
 from ..partitioning.partgraph import PartGraph
 from ..runtime import CAB, CommStats, DistSparseMatrix, MachineModel, comm_stats
+from ..runtime.store import EngineKey, EngineStore, matrix_hash
 
 __all__ = [
     "PAPER_TO_PROXY_PROCS",
@@ -42,6 +42,7 @@ __all__ = [
     "atomic_save_npy",
     "cached_rpart",
     "layout_for",
+    "engine_store_key",
     "run_spmv_cell",
     "spmv_grid",
     "gp_or_hp",
@@ -101,12 +102,9 @@ def _load_cached_part(path: Path, n: int) -> np.ndarray | None:
     return part.astype(np.int64)
 
 
-def _matrix_hash(A) -> str:
-    A = as_csr(A)
-    h = hashlib.sha1()
-    h.update(np.ascontiguousarray(A.indptr).tobytes())
-    h.update(np.ascontiguousarray(A.indices).tobytes())
-    return h.hexdigest()[:12]
+#: Canonical content hash lives with the engine store now; the partition
+#: cache and the engine artifacts share one digest per matrix.
+_matrix_hash = matrix_hash
 
 
 def cached_rpart(
@@ -206,6 +204,23 @@ class SpmvRecord:
     validation_error: float
 
 
+def engine_store_key(
+    A,
+    method: str,
+    nprocs: int,
+    seed: int = 0,
+    nested_from: int | None = None,
+) -> EngineKey:
+    """The :class:`EngineKey` a sweep cell's compiled engine stores under.
+
+    Nested-derivation cells get a ``n{pmax}`` variant: a p=16 layout
+    derived from the p=64 partition is a different matrix-on-ranks than
+    one partitioned directly at 16, and the two must never collide.
+    """
+    variant = f"n{nested_from}" if nested_from is not None else ""
+    return EngineKey(matrix_hash(A), method.lower(), nprocs, seed, variant)
+
+
 def run_spmv_cell(
     A,
     matrix_name: str,
@@ -217,12 +232,18 @@ def run_spmv_cell(
     nested_from: int | None = None,
     validate: bool | None = None,
     orientation: str = "fixed",
+    engine_store: EngineStore | None = None,
 ) -> SpmvRecord:
     """Evaluate one (matrix, layout, p) cell.
 
     ``validate=None`` auto-enables the real four-phase multiply check for
     p <= 64 (the data movement is identical in structure at higher p; the
     check is skipped there only to keep sweep time down).
+
+    ``engine_store``, when given, is probed for a previously compiled
+    engine before the validation multiply (a hit skips the plan-build +
+    compile inside ``dist.spmv``); a miss compiles as usual and persists
+    the result for the next sweep.
     """
     layout = layout_for(
         A, method, nprocs, seed=seed, cache_dir=cache_dir,
@@ -234,9 +255,20 @@ def run_spmv_cell(
         validate = nprocs <= 64
     err = float("nan")
     if validate:
+        store_key = None
+        if engine_store is not None:
+            store_key = engine_store_key(
+                A, method, nprocs, seed=seed, nested_from=nested_from
+            )
+            hit = engine_store.load(store_key)
+            if hit is not None:
+                dist._engine = hit.engine
+                store_key = None  # already stored; skip the save below
         rng = np.random.default_rng(12345)
         x = rng.standard_normal(A.shape[0])
         err = float(np.abs(dist.spmv(x) - A @ x).max())
+        if store_key is not None:
+            engine_store.save(store_key, dist.engine, {"matrix": matrix_name})
     return SpmvRecord(
         matrix=matrix_name,
         method=layout.name,
@@ -254,8 +286,11 @@ def _spmv_cell_task(args: tuple) -> SpmvRecord:
     cache; the atomic writer makes that a benign duplicated computation,
     never a torn read.
     """
-    A, name, method, p, seed, cache_dir = args
-    return run_spmv_cell(A, name, method, p, seed=seed, cache_dir=cache_dir)
+    A, name, method, p, seed, cache_dir, store_dir = args
+    store = EngineStore(store_dir) if store_dir is not None else None
+    return run_spmv_cell(
+        A, name, method, p, seed=seed, cache_dir=cache_dir, engine_store=store
+    )
 
 
 def _matrix_grid_task(args: tuple) -> list[SpmvRecord]:
@@ -264,8 +299,9 @@ def _matrix_grid_task(args: tuple) -> list[SpmvRecord]:
     the shared partition cache (one deep rpart per method serves every p
     via nesting), so concurrent columns do not repeat partitioner work.
     """
-    name, A, methods, procs, machine, seed, cache_dir, nested = args
+    name, A, methods, procs, machine, seed, cache_dir, nested, store_dir = args
     A = as_csr(A)
+    store = EngineStore(store_dir) if store_dir is not None else None
     records: list[SpmvRecord] = []
     pmax = max(procs)
     for p in procs:
@@ -275,6 +311,7 @@ def _matrix_grid_task(args: tuple) -> list[SpmvRecord]:
                 run_spmv_cell(
                     A, name, method, p, machine=machine, seed=seed,
                     cache_dir=cache_dir, nested_from=nested_from,
+                    engine_store=store,
                 )
             )
     return records
@@ -289,12 +326,16 @@ def spmv_grid(
     cache_dir: Path | None = None,
     nested: bool = True,
     jobs: int | None = None,
+    engine_store: Path | str | None = None,
 ) -> list[SpmvRecord]:
     """Run the full sweep; matrices may be corpus names or name->matrix.
 
     ``jobs`` fans matrices across a process pool (cells within a matrix
     share cached partitions, so the matrix is the natural grain). Record
     order and contents are identical to the serial sweep.
+    ``engine_store`` (a directory) lets validation cells reuse compiled
+    engines across runs and workers; pool workers each open the same
+    directory, composing through the store's atomic writes.
     """
     if isinstance(matrices, list):
         matrices = {name: load_corpus_matrix(name) for name in matrices}
@@ -302,8 +343,10 @@ def spmv_grid(
         # workers must agree on one cache directory even if the pool was
         # forked before the caller exported $REPRO_CACHE_DIR
         cache_dir = default_cache_dir()
+    store_dir = Path(engine_store) if engine_store is not None else None
     tasks = [
-        (name, as_csr(A), methods, procs, machine, seed, cache_dir, nested)
+        (name, as_csr(A), methods, procs, machine, seed, cache_dir, nested,
+         store_dir)
         for name, A in matrices.items()
     ]
     from ..parallel import parallel_map

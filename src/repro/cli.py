@@ -27,6 +27,13 @@ once on a workstation, reuse for many analyses:
     Long-lived matvec server: compiled engines stay resident behind an
     LRU, concurrent matvecs coalesce into batched ``spmm`` calls, cold
     partitions run on a resilient worker pool (see :mod:`repro.serve`).
+``serve warmup --socket PATH --preload MATRIX...``
+    Prefetch engines into a running server through the residency tiers
+    (memory → artifact store → build-and-persist) and report where each
+    came from.
+``cache {list,evict,clear}``
+    Inspect or drop compiled-engine artifacts in the persistent store
+    (see :mod:`repro.runtime.store`).
 ``serve chaos [--seed S]``
     Self-contained chaos demo: boots a fault-injectable server plus a
     seeded :class:`~repro.serve.chaos.ChaosProxy` (torn frames,
@@ -138,6 +145,18 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _resolve_engine_store(value) -> Path | None:
+    """``--engine-store`` semantics: absent -> None, bare flag -> default
+    store directory, explicit value -> that directory."""
+    if value is None:
+        return None
+    if value == "":
+        from .runtime.store import default_store_dir
+
+        return default_store_dir()
+    return Path(value)
+
+
 def _cmd_spmv(args) -> int:
     from .bench.harness import _spmv_cell_task, default_cache_dir
     from .bench.reporting import format_table
@@ -145,8 +164,9 @@ def _cmd_spmv(args) -> int:
 
     A = _load(args.matrix)
     cache_dir = default_cache_dir()
+    store_dir = _resolve_engine_store(args.engine_store)
     tasks = [
-        (A, args.matrix, method, args.procs, args.seed, cache_dir)
+        (A, args.matrix, method, args.procs, args.seed, cache_dir, store_dir)
         for method in args.methods
     ]
     rows = []
@@ -213,9 +233,11 @@ def _cmd_regress(args) -> int:
     spec = _regress_spec(args)
     golden_dir = Path(args.golden_dir)
     cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    engine_store = _resolve_engine_store(args.engine_store)
     if args.action == "generate":
         paths = generate_goldens(
-            spec, golden_dir, cache_dir=cache_dir, progress=print, jobs=args.jobs
+            spec, golden_dir, cache_dir=cache_dir, progress=print, jobs=args.jobs,
+            engine_store=engine_store,
         )
         print(f"wrote {len(paths)} golden file(s) under {golden_dir}")
         return 0
@@ -233,7 +255,7 @@ def _cmd_regress(args) -> int:
 
     mismatches, ncells = check_goldens(
         spec, golden_dir, cache_dir=cache_dir, rtol=args.rtol, progress=print,
-        jobs=args.jobs,
+        jobs=args.jobs, engine_store=engine_store,
     )
     if not mismatches:
         print(
@@ -314,6 +336,8 @@ def _cmd_serve(args) -> int:
 
     if args.mode == "chaos":
         return _cmd_serve_chaos(args)
+    if args.mode == "warmup":
+        return _cmd_serve_warmup(args)
     if not args.socket:
         print("error: --socket is required (except in 'serve chaos' mode)",
               file=sys.stderr)
@@ -334,6 +358,8 @@ def _cmd_serve(args) -> int:
         allow_fault_injection=args.allow_fault_injection,
         preload=tuple(args.preload or ()),
         default_seed=args.seed,
+        engine_store_dir=args.engine_store_dir,
+        use_engine_store=not args.no_engine_store,
     )
     server = MatvecServer(config)
 
@@ -348,6 +374,80 @@ def _cmd_serve(args) -> int:
         asyncio.run(server.serve(on_started=on_started))
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_serve_warmup(args) -> int:
+    """Prefetch engines into a *running* server via the ``warmup`` op.
+
+    A deploy script points this at the serve socket with the matrices
+    traffic is about to hit; the server walks each through its tiers
+    (memory -> artifact store -> build-and-persist) and reports where
+    every engine came from, so the script can verify first requests will
+    be served from mmap loads, not cold builds.
+    """
+    from .serve import ServeClient
+
+    if not args.socket:
+        print("error: serve warmup requires --socket", file=sys.stderr)
+        return 2
+    if not args.preload:
+        print("error: serve warmup requires --preload MATRIX [MATRIX ...]",
+              file=sys.stderr)
+        return 2
+    msg = {
+        "op": "warmup",
+        "matrices": list(args.preload),
+        "procs": args.warm_procs,
+        "seed": args.seed,
+    }
+    if args.warm_method:
+        msg["method"] = args.warm_method
+    with ServeClient(args.socket, timeout=args.partition_timeout) as c:
+        resp, _ = c.request(msg)
+    if not resp.get("ok"):
+        print(f"warmup failed: {resp.get('error')}", file=sys.stderr)
+        return 1
+    for rec in resp.get("warmed", ()):
+        print(f"{rec['matrix']:<20} {rec['engine_key']:<40} "
+              f"{rec['engine_source']:<7} {rec['seconds']:.3f}s")
+    tiers = resp.get("tiers", {})
+    print(f"tiers: {tiers}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    """Inspect/evict compiled-engine artifacts (``repro cache ...``)."""
+    from .bench.reporting import format_table
+    from .runtime.store import EngineStore
+
+    store = EngineStore(args.store) if args.store else EngineStore()
+    if args.action == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"engine store {store.root}: empty")
+            return 0
+        rows = [
+            (e.get("key") or e["file"], e.get("matrix") or "-",
+             e.get("n") or "-", e["status"], e["bytes"])
+            for e in entries
+        ]
+        print(format_table(["key", "matrix", "n", "status", "bytes"], rows))
+        total = sum(e["bytes"] for e in entries)
+        print(f"{len(entries)} artifact(s), {total} bytes under {store.root}")
+        return 0
+    if args.action == "evict":
+        missing = 0
+        for key in args.keys:
+            if store.evict(key):
+                print(f"evicted {key}")
+            else:
+                print(f"no artifact for {key}", file=sys.stderr)
+                missing += 1
+        return 1 if missing else 0
+    # clear
+    removed = store.clear()
+    print(f"removed {removed} artifact(s) from {store.root}")
     return 0
 
 
@@ -554,6 +654,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("matrix")
     p.add_argument("-p", "--procs", type=int, default=64)
     p.add_argument("--methods", nargs="+", default=default_methods)
+    p.add_argument("--engine-store", nargs="?", const="", default=None,
+                   metavar="DIR",
+                   help="reuse compiled engines from the artifact store "
+                        "(bare flag: $REPRO_ENGINE_STORE_DIR or the default "
+                        "store; with DIR: that directory)")
     p.set_defaults(fn=_cmd_spmv)
 
     p = sub.add_parser("eigen", help="compare layouts for the eigensolver",
@@ -579,6 +684,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="process counts (default: 4 16 64)")
     common.add_argument("--cache-dir",
                         help="partition cache (default: $REPRO_CACHE_DIR)")
+    common.add_argument("--engine-store", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="compiled-engine artifact store: warm cells skip "
+                             "their builds (bare flag: the default store "
+                             "directory; with DIR: that directory)")
     g = rsub.add_parser("generate", parents=[common],
                         help="recompute the grid and (over)write goldens")
     g.set_defaults(fn=_cmd_regress)
@@ -630,10 +740,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="long-lived batched matvec server (see DESIGN.md §12)",
         parents=[seeded, jobbed],
     )
-    p.add_argument("mode", nargs="?", choices=("chaos",),
+    p.add_argument("mode", nargs="?", choices=("chaos", "warmup"),
                    help="'chaos': self-contained seeded chaos demo — boots a "
                         "server + ChaosProxy and soaks it with retrying "
-                        "clients (see DESIGN.md §13)")
+                        "clients (see DESIGN.md §13). 'warmup': prefetch "
+                        "--preload matrices into a running server (--socket) "
+                        "through the engine tiers and report where each "
+                        "engine came from")
     p.add_argument("--socket", help="unix socket path to listen on "
                                     "(required except in chaos mode)")
     p.add_argument("--http", type=int, default=None, metavar="PORT",
@@ -657,7 +770,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="matrices to partition and compile before accepting load")
     p.add_argument("--allow-fault-injection", action="store_true",
                    help="honor fault:{kill_worker} requests (tests/benches only)")
+    p.add_argument("--engine-store-dir", default=None, metavar="DIR",
+                   help="compiled-engine artifact store directory "
+                        "(default: engines/ under the partition cache)")
+    p.add_argument("--no-engine-store", action="store_true",
+                   help="disable the on-disk engine store (every cold start "
+                        "rebuilds from the partition)")
+    p.add_argument("--warm-procs", type=int, default=16,
+                   help="warmup mode: process count per engine (default: 16)")
+    p.add_argument("--warm-method", default=None,
+                   help="warmup mode: layout method (default: the server's "
+                        "per-matrix paper choice)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "cache", help="inspect/evict compiled-engine artifacts "
+                      "(see DESIGN.md §14)"
+    )
+    csub = p.add_subparsers(dest="action", required=True)
+    ccommon = argparse.ArgumentParser(add_help=False)
+    ccommon.add_argument("--store", default=None, metavar="DIR",
+                         help="store directory (default: "
+                              "$REPRO_ENGINE_STORE_DIR, else engines/ under "
+                              "the partition cache)")
+    c = csub.add_parser("list", parents=[ccommon],
+                        help="list artifacts with status (ok/stale/corrupt)")
+    c.set_defaults(fn=_cmd_cache)
+    c = csub.add_parser("evict", parents=[ccommon],
+                        help="drop artifacts by key "
+                             "(e.g. 69caba9d744c_2d-gp_k8_s0)")
+    c.add_argument("keys", nargs="+", help="engine keys to drop")
+    c.set_defaults(fn=_cmd_cache)
+    c = csub.add_parser("clear", parents=[ccommon],
+                        help="drop every artifact in the store")
+    c.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser(
         "loadgen", help="closed-loop load generator against a running server",

@@ -12,9 +12,18 @@ from .machine import MachineModel, CAB, HOPPER, ZERO_COMM, MACHINES
 from .maps import Map
 from .plan import CommPlan
 from .trace import CostLedger, FaultEvent, SPMV_PHASES, FAULT_PHASES
-from .distmatrix import DistSparseMatrix
+from .distmatrix import DistSparseMatrix, DISTMATRIX_KERNELS, use_kernel
 from .distvector import DistVectorSpace
 from .engine import SpmvEngine, AbftCheck
+from .store import (
+    ARTIFACT_SCHEMA,
+    EngineKey,
+    EngineStore,
+    LoadedEngine,
+    StoreVerifyError,
+    default_store_dir,
+    matrix_hash,
+)
 from .metrics import CommStats, comm_stats, recovery_peers, max_recovery_peers
 from .collectives import COLLECTIVE_ALGORITHMS, phase_time
 from .migration import MigrationStats, migration_stats, price_pair_words
@@ -45,9 +54,18 @@ __all__ = [
     "SPMV_PHASES",
     "FAULT_PHASES",
     "DistSparseMatrix",
+    "DISTMATRIX_KERNELS",
+    "use_kernel",
     "DistVectorSpace",
     "SpmvEngine",
     "AbftCheck",
+    "ARTIFACT_SCHEMA",
+    "EngineKey",
+    "EngineStore",
+    "LoadedEngine",
+    "StoreVerifyError",
+    "default_store_dir",
+    "matrix_hash",
     "CommStats",
     "comm_stats",
     "recovery_peers",

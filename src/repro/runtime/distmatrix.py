@@ -13,9 +13,24 @@ with genuine per-rank data movement (ghost values really are gathered from
 the owner's buffer, partial sums really are shipped to the row owner), so
 its result is bit-identical to ``A @ x`` only up to float addition order —
 tests assert agreement to tight tolerance.
+
+Cold-path kernels
+-----------------
+Construction and the gather/scatter helpers come in two kernels behind
+the PR 5/6 dual-kernel convention (``DISTMATRIX_KERNELS`` /
+:func:`use_kernel`): ``reference`` keeps the seed's per-rank Python
+loops as the bit-identity oracle; ``vector`` (the default) assembles
+every rank's local block from one ``lexsort`` over all nonzeros plus a
+``bincount``-cumsum row pointer, and splits/merges vectors through the
+:class:`~repro.runtime.maps.Map`'s grouped-index arrays. The two paths
+produce bit-identical blocks, maps, and SpMV results —
+``benchmarks/bench_coldstart.py`` gates that corpus-wide, the same
+contract as the refine/coarsen kernels.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 import scipy.sparse as sp
@@ -29,13 +44,52 @@ from .maps import Map
 from .plan import CommPlan
 from .trace import CostLedger
 
-__all__ = ["DistSparseMatrix"]
+__all__ = ["DistSparseMatrix", "DISTMATRIX_KERNELS", "use_kernel"]
+
+#: Cold-path kernels (block assembly + vector gather/scatter); module
+#: default is the vectorised one.
+DISTMATRIX_KERNELS = ("vector", "reference")
+_DEFAULT_KERNEL = "vector"
+
+
+@contextmanager
+def use_kernel(kernel: str):
+    """Temporarily switch the module-default cold-path kernel (bench/test A/B)."""
+    global _DEFAULT_KERNEL
+    if kernel not in DISTMATRIX_KERNELS:
+        raise ValueError(
+            f"unknown distmatrix kernel {kernel!r}; choose from {DISTMATRIX_KERNELS}"
+        )
+    prev = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = kernel
+    try:
+        yield
+    finally:
+        _DEFAULT_KERNEL = prev
+
+
+def _resolve_kernel(kernel: str | None) -> str:
+    """Validate *kernel*, defaulting to the module switch."""
+    kernel = kernel if kernel is not None else _DEFAULT_KERNEL
+    if kernel not in DISTMATRIX_KERNELS:
+        raise ValueError(
+            f"unknown distmatrix kernel {kernel!r}; choose from {DISTMATRIX_KERNELS}"
+        )
+    return kernel
 
 
 class DistSparseMatrix:
     """A sparse matrix distributed over ``layout.nprocs`` simulated ranks."""
 
-    def __init__(self, A, layout: Layout, machine: MachineModel = CAB):
+    def __init__(
+        self,
+        A,
+        layout: Layout,
+        machine: MachineModel = CAB,
+        kernel: str | None = None,
+    ):
+        kernel = _resolve_kernel(kernel)
+        self._kernel = kernel
         A = as_csr(A)
         if A.shape[0] != A.shape[1]:
             raise ValueError(f"square matrices only, got {A.shape}")
@@ -73,20 +127,51 @@ class DistSparseMatrix:
 
         urow, rseg, lr = per_rank_unique(rows)
         ucol, cseg, lc = per_rank_unique(cols)
-        self.row_maps: list[np.ndarray] = []  # global rows present on rank
-        self.col_maps: list[np.ndarray] = []  # global cols present on rank
-        self.local_blocks: list[sp.csr_matrix] = []
         self.local_nnz = counts.astype(np.int64)
-        for r in range(self.nprocs):
-            sl = slice(starts[r], starts[r + 1])
-            rmap = urow[rseg[r] : rseg[r + 1]]
-            cmap = ucol[cseg[r] : cseg[r + 1]]
-            block = sp.csr_matrix(
-                (vals[sl], (lr[sl], lc[sl])), shape=(len(rmap), len(cmap))
+        if kernel == "reference":
+            # seed form: one COO->CSR conversion per rank
+            self.row_maps: list[np.ndarray] = []  # global rows on rank
+            self.col_maps: list[np.ndarray] = []  # global cols on rank
+            self.local_blocks: list[sp.csr_matrix] = []
+            for r in range(self.nprocs):
+                sl = slice(starts[r], starts[r + 1])
+                rmap = urow[rseg[r] : rseg[r + 1]]
+                cmap = ucol[cseg[r] : cseg[r + 1]]
+                block = sp.csr_matrix(
+                    (vals[sl], (lr[sl], lc[sl])), shape=(len(rmap), len(cmap))
+                )
+                self.row_maps.append(rmap)
+                self.col_maps.append(cmap)
+                self.local_blocks.append(block)
+        else:
+            # One (rank, row, col) lexsort over all nonzeros replaces the
+            # per-rank conversions: within a rank that order *is* the
+            # canonical CSR entry order scipy's COO->CSR produces (row
+            # sort is stable, sum_duplicates sorts columns within rows;
+            # layouts assign each nonzero to one rank, so there are no
+            # duplicates to sum and the data vectors match bit-for-bit).
+            self.row_maps = np.split(urow, rseg[1:-1])
+            self.col_maps = np.split(ucol, cseg[1:-1])
+            order2 = np.lexsort((lc, lr, ranks_s))
+            data2 = vals[order2]
+            lc2 = lc[order2]
+            # concatenated row pointers over all ranks' compressed rows
+            # (bincount is order-free, so it runs on the pre-sort arrays)
+            row_counts = np.bincount(
+                rseg[ranks_s] + lr, minlength=int(rseg[-1])
             )
-            self.row_maps.append(rmap)
-            self.col_maps.append(cmap)
-            self.local_blocks.append(block)
+            indptr_all = np.concatenate(
+                [[0], np.cumsum(row_counts)]
+            ).astype(np.int64)
+            self.local_blocks = []
+            for r in range(self.nprocs):
+                r0, r1 = int(rseg[r]), int(rseg[r + 1])
+                block = sp.csr_matrix((r1 - r0, int(cseg[r + 1] - cseg[r])))
+                i0, i1 = int(starts[r]), int(starts[r + 1])
+                block.data = data2[i0:i1]
+                block.indices = lc2[i0:i1]
+                block.indptr = indptr_all[r0 : r1 + 1] - indptr_all[r0]
+                self.local_blocks.append(block)
 
         # Importer: deliver x-entries listed in each rank's column map
         self.import_plan = CommPlan.build(self.col_maps, self.vector_map)
@@ -133,16 +218,35 @@ class DistSparseMatrix:
     # -- data movement helpers ---------------------------------------------
 
     def scatter_vector(self, x: np.ndarray) -> list[np.ndarray]:
-        """Split a global vector into per-rank owned segments."""
+        """Split a global vector into per-rank owned segments.
+
+        The vector kernel performs one fancy gather in the map's grouped
+        order and splits it — the segments are the same values in the
+        same (ascending global id) order as the reference's per-rank
+        gathers, bit for bit.
+        """
         if x.shape != (self.n,):
             raise ValueError(f"vector shape {x.shape} != ({self.n},)")
-        return [x[self.vector_map.indices_of(r)] for r in range(self.nprocs)]
+        if self._kernel == "reference":
+            return [x[self.vector_map.indices_of(r)] for r in range(self.nprocs)]
+        vm = self.vector_map
+        return np.split(x[vm.grouped_indices()], vm.starts()[1:-1])
 
     def gather_vector(self, parts: list[np.ndarray]) -> np.ndarray:
-        """Reassemble per-rank owned segments into a global vector."""
+        """Reassemble per-rank owned segments into a global vector.
+
+        The vector kernel concatenates once and scatters through the
+        grouped-index array; each global slot is written exactly once
+        (ownership partitions the index space), so the result is
+        bit-identical to the reference's per-rank assignments.
+        """
         out = np.empty(self.n)
-        for r in range(self.nprocs):
-            out[self.vector_map.indices_of(r)] = parts[r]
+        if self._kernel == "reference":
+            for r in range(self.nprocs):
+                out[self.vector_map.indices_of(r)] = parts[r]
+            return out
+        vm = self.vector_map
+        out[vm.grouped_indices()] = np.concatenate(parts) if parts else []
         return out
 
     # -- the four-phase SpMV ---------------------------------------------------

@@ -71,6 +71,30 @@ __all__ = ["SpmvEngine", "AbftCheck"]
 ABFT_RTOL = 1e-8
 
 
+def _adopt_csr(data, indices, indptr, shape) -> sp.csr_matrix:
+    """Build a CSR around existing (possibly read-only, mmapped) arrays.
+
+    The tuple constructor would copy and validate; attribute assignment
+    adopts the buffers as-is, which is what makes store loads zero-copy.
+    Shape/pointer consistency is the artifact loader's job
+    (:meth:`SpmvEngine.from_arrays` + the store's structural checks).
+    """
+    data = np.asarray(data)
+    indices = np.asarray(indices)
+    indptr = np.asarray(indptr)
+    if len(indptr) != shape[0] + 1:
+        raise ValueError(f"indptr length {len(indptr)} != rows {shape[0]} + 1")
+    if len(indptr) and int(indptr[-1]) != len(data):
+        raise ValueError(f"indptr[-1] {int(indptr[-1])} != nnz {len(data)}")
+    if len(data) != len(indices):
+        raise ValueError("data/indices length mismatch")
+    M = sp.csr_matrix(shape)
+    M.data = data
+    M.indices = indices
+    M.indptr = indptr
+    return M
+
+
 @dataclass(frozen=True)
 class AbftCheck:
     """Verdict of one ABFT checksum test over a four-phase SpMV.
@@ -156,6 +180,75 @@ class SpmvEngine:
         self._slot_rank = rank_of_slot
         self._nprocs = p
         self._abft: tuple[sp.csr_matrix, sp.csr_matrix, sp.csr_matrix] | None = None
+        #: optional no-arg callback fired when the lazy ABFT operators
+        #: materialize (the residency layer re-checks its byte budget)
+        self.abft_listener = None
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The engine's full compiled state as flat arrays.
+
+        Everything :meth:`spmv`/:meth:`spmm` touch — the two CSR
+        operators, the slot→rank vector, and the shapes — round-trips
+        through :meth:`from_arrays` *bit-identically by contract*: the
+        reconstructed engine's results equal this one's to the last bit
+        (the artifact store verifies that at save time, and
+        ``BENCH_coldstart.json`` gates it corpus-wide). The lazy ABFT
+        operators are deliberately excluded: they are derived purely
+        from ``local`` and ``slot_rank``, so a loaded engine rebuilds
+        them on first :meth:`abft_check` exactly as a compiled one does.
+        """
+        return {
+            "dims": np.array(
+                [self.n, self._nprocs, *self._local.shape, *self._fold.shape],
+                dtype=np.int64,
+            ),
+            "local_data": self._local.data,
+            "local_indices": self._local.indices,
+            "local_indptr": self._local.indptr,
+            "fold_data": self._fold.data,
+            "fold_indices": self._fold.indices,
+            "fold_indptr": self._fold.indptr,
+            "slot_rank": np.asarray(self._slot_rank, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "SpmvEngine":
+        """Reassemble an engine from :meth:`to_arrays` output.
+
+        The arrays are adopted *without copying* — mmap-backed
+        (read-only) inputs are fine because the multiply kernels never
+        mutate operator storage — so loading an artifact costs only
+        header parsing, not data movement.
+        """
+        dims = np.asarray(arrays["dims"], dtype=np.int64)
+        if dims.shape != (6,):
+            raise ValueError(f"bad dims member shape {dims.shape}")
+        n, p = int(dims[0]), int(dims[1])
+        eng = cls.__new__(cls)
+        eng.n = n
+        eng._nprocs = p
+        eng._local = _adopt_csr(
+            arrays["local_data"],
+            arrays["local_indices"],
+            arrays["local_indptr"],
+            (int(dims[2]), int(dims[3])),
+        )
+        eng._fold = _adopt_csr(
+            arrays["fold_data"],
+            arrays["fold_indices"],
+            arrays["fold_indptr"],
+            (int(dims[4]), int(dims[5])),
+        )
+        eng._slot_rank = np.asarray(arrays["slot_rank"])
+        if eng._fold.shape[0] != n or eng._local.shape[1] != n:
+            raise ValueError("operator shapes inconsistent with n")
+        if len(eng._slot_rank) != eng._local.shape[0]:
+            raise ValueError("slot_rank length inconsistent with local operator")
+        eng._abft = None
+        eng.abft_listener = None
+        return eng
 
     @property
     def nbytes(self) -> int:
@@ -171,6 +264,22 @@ class SpmvEngine:
         if self._abft is not None:
             ops.extend(self._abft[:2])
         for op in ops:
+            total += op.data.nbytes + op.indices.nbytes + op.indptr.nbytes
+        return int(total)
+
+    @property
+    def abft_bytes(self) -> int:
+        """Bytes of the lazily built ABFT operators (0 until first use).
+
+        Split out from :attr:`nbytes` so the residency layer can report
+        how much of an entry's footprint appeared *after* admission —
+        the accounting drift the post-materialization budget re-check
+        exists to correct.
+        """
+        if self._abft is None:
+            return 0
+        total = 0
+        for op in self._abft[:2]:
             total += op.data.nbytes + op.indices.nbytes + op.indptr.nbytes
         return int(total)
 
@@ -197,6 +306,10 @@ class SpmvEngine:
                 (np.abs(E.data), E.indices, E.indptr), shape=E.shape
             )
             self._abft = (S, E, Eabs)
+            if self.abft_listener is not None:
+                # the engine just grew abft_bytes after admission; let
+                # the residency layer re-check its byte budget
+                self.abft_listener()
         return self._abft
 
     def spmv_with_partials(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

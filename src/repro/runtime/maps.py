@@ -54,6 +54,18 @@ class Map:
         """Global indices owned by *rank*, ascending (view, do not mutate)."""
         return self._grouped[self._starts[rank] : self._starts[rank + 1]]
 
+    def grouped_indices(self) -> np.ndarray:
+        """All global indices ordered by (owner rank, global id) — the
+        concatenation of ``indices_of(r)`` over all ranks (view, do not
+        mutate). The vectorized gather/scatter kernels index through
+        this once instead of slicing per rank."""
+        return self._grouped
+
+    def starts(self) -> np.ndarray:
+        """Per-rank segment starts into :meth:`grouped_indices`, length
+        ``nprocs + 1`` (view, do not mutate)."""
+        return self._starts
+
     def local_ids(
         self, global_ids: np.ndarray, rank: int, validate: bool = True
     ) -> np.ndarray:

@@ -1,0 +1,431 @@
+"""Persistent compiled-engine artifact store with zero-copy loads.
+
+The paper's central economy is amortization: pay an expensive setup
+phase once, then run many cheap SpMVs. The partition cache
+(:func:`repro.bench.harness.cached_rpart`) already amortizes the
+partitioner across processes, but every *new process* still re-ran the
+rest of the cold path — :class:`~repro.runtime.distmatrix.DistSparseMatrix`
+construction, ``CommPlan.build``, and the
+:class:`~repro.runtime.engine.SpmvEngine` compile — on every serve cold
+start, regress run, and bench worker. This module persists the *end
+product* of that pipeline: the two compiled CSR operators, the
+slot→rank vector, and the operator shapes, as one uncompressed
+``.npz`` artifact keyed exactly like the partition cache.
+
+Key discipline (shared with the partition cache)
+------------------------------------------------
+Artifacts are keyed by :class:`EngineKey` — ``(matrix content hash,
+layout method, procs, seed[, variant])`` — where :func:`matrix_hash` is
+the same sha1-of-structure digest ``cached_rpart`` uses, so an engine
+artifact and its cached rpart always name the same partition. The
+``variant`` field disambiguates engines whose layout was *derived*
+rather than partitioned directly (e.g. ``n64`` for a p=16 layout nested
+from the p=64 partition in a scaling sweep): nested and direct layouts
+at the same p are different matrices-on-ranks and must never collide.
+
+Write discipline (shared with the partition cache)
+--------------------------------------------------
+Writers land artifacts via a pid/thread-suffixed tmp file and one
+atomic ``os.replace``, so concurrent writers of the same key race only
+on the rename and readers can never observe a torn file. Before the
+rename, the artifact is **verified**: it is read back through the same
+loader clients use and the reconstructed engine's ``spmv``/``spmm``
+must be *bit-identical* to the in-memory one on a seeded probe (plus a
+member-by-member byte comparison). A machine that cannot round-trip its
+own artifact raises :class:`StoreVerifyError` instead of publishing it.
+
+Read discipline
+---------------
+Loads are **zero-copy** where the platform allows: the zip local
+headers are parsed once, each member's ``.npy`` payload is located at
+its absolute file offset, each payload is CRC-checked against the zip
+directory in one sequential pass, and the arrays are built with
+``np.frombuffer`` over a single ``np.memmap`` of the artifact — no
+deserialization, no copies. (``np.load(..., mmap_mode=...)`` does not
+mmap npz members, hence the explicit reader.) Any structural surprise
+falls back to a plain ``np.load`` copy; any corruption — truncated
+zip, damaged headers, a failed CRC on either path — is treated as a
+**miss**, so a damaged entry costs a rebuild (which atomically
+replaces it), never a crash or a wrong answer.
+
+Invalidation
+------------
+Every artifact carries ``schema = ARTIFACT_SCHEMA`` in its metadata
+member. Readers refuse (treat as a miss) any other value, so engines
+compiled by older code are rebuilt, not mis-loaded; bump the constant
+whenever the serialized layout or the engine's compiled form changes.
+Content addressing handles matrix changes (new hash, new key); CI keys
+its engine-store cache on the runtime/partitioning sources so code
+changes start from an empty store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import threading
+import zipfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..graphs.csr import as_csr
+from .engine import SpmvEngine
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "EngineKey",
+    "EngineStore",
+    "LoadedEngine",
+    "StoreVerifyError",
+    "default_store_dir",
+    "matrix_hash",
+]
+
+#: Serialized-artifact schema version. Bump whenever the member layout
+#: or the engine's compiled form changes; readers treat any other value
+#: as a miss (stale artifact → rebuild, never a mis-load).
+ARTIFACT_SCHEMA = 1
+
+#: npz member names an artifact must carry besides ``meta``.
+_MEMBERS = (
+    "dims",
+    "local_data",
+    "local_indices",
+    "local_indptr",
+    "fold_data",
+    "fold_indices",
+    "fold_indptr",
+    "slot_rank",
+)
+
+
+def matrix_hash(A) -> str:
+    """Content hash of a CSR structure (the cache/store key prefix).
+
+    sha1 over ``indptr`` + ``indices`` truncated to 12 hex chars — the
+    same digest the partition cache files are named by, so one hash
+    identifies a matrix across both caches.
+    """
+    A = as_csr(A)
+    h = hashlib.sha1()
+    h.update(np.ascontiguousarray(A.indptr).tobytes())
+    h.update(np.ascontiguousarray(A.indices).tobytes())
+    return h.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class EngineKey:
+    """Identity of one compiled engine (mirrors the partition-cache key).
+
+    ``variant`` distinguishes derived layouts (e.g. ``"n64"`` for a
+    partition nested from p=64) from directly partitioned ones; it is
+    empty for the direct case so serve keys keep their historical form.
+    """
+
+    matrix_hash: str
+    method: str
+    procs: int
+    seed: int
+    variant: str = ""
+
+    def __str__(self) -> str:
+        base = f"{self.matrix_hash}_{self.method}_k{self.procs}_s{self.seed}"
+        return f"{base}_{self.variant}" if self.variant else base
+
+
+def default_store_dir() -> Path:
+    """Engine-store location (override with $REPRO_ENGINE_STORE_DIR).
+
+    Defaults to an ``engines/`` subdirectory of the partition cache, so
+    everything honoring $REPRO_CACHE_DIR (tests, benches, serve
+    fixtures) gets a hermetic engine store for free.
+    """
+    env = os.environ.get("REPRO_ENGINE_STORE_DIR")
+    if env:
+        base = Path(env)
+    else:
+        cache_env = os.environ.get("REPRO_CACHE_DIR")
+        if cache_env:
+            cache = Path(cache_env)
+        else:
+            cache = Path.home() / ".cache" / "repro-partitions"
+        base = cache / "engines"
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+class StoreVerifyError(RuntimeError):
+    """A just-written artifact failed its read-back bit-identity check."""
+
+
+@dataclass
+class LoadedEngine:
+    """One successful store load: the engine plus artifact provenance."""
+
+    engine: SpmvEngine
+    meta: dict
+    #: True when the arrays are zero-copy views over the mapped file
+    mmapped: bool
+    path: Path
+
+
+def _meta_array(meta: dict) -> np.ndarray:
+    return np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+    ).copy()
+
+
+def _decode_meta(arr: np.ndarray) -> dict:
+    meta = json.loads(np.asarray(arr, dtype=np.uint8).tobytes().decode())
+    if not isinstance(meta, dict):
+        raise ValueError("artifact meta is not an object")
+    return meta
+
+
+def _probe_rng(key: EngineKey) -> np.random.Generator:
+    """Deterministic per-key RNG for save-time verification probes."""
+    digest = hashlib.sha1(str(key).encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def _read_npz_mmap(path: Path) -> dict[str, np.ndarray]:
+    """Zero-copy npz read: frombuffer views over one memmap of *path*.
+
+    Every member's payload is CRC-checked against the zip directory
+    before its view is handed out — one sequential pass over the mapped
+    bytes, no deserialization and no copies, so a bit flip anywhere in
+    an array lands as corruption, exactly like the ``np.load`` fallback.
+
+    Raises on any structural surprise (compressed member, unexpected
+    npy version, object dtype, damaged header) or CRC mismatch — the
+    caller falls back to a plain ``np.load`` copy, which re-checks zip
+    CRCs as it reads, and treats a second failure as a miss.
+    """
+    out: dict[str, np.ndarray] = {}
+    raw = np.memmap(path, mode="r", dtype=np.uint8)
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as f:
+        for info in zf.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(f"compressed member {info.filename!r}")
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            f.seek(info.header_offset)
+            hdr = f.read(30)
+            if len(hdr) != 30 or hdr[:4] != b"PK\x03\x04":
+                raise ValueError(f"bad local header for {info.filename!r}")
+            name_len, extra_len = struct.unpack("<HH", hdr[26:30])
+            payload = info.header_offset + 30 + name_len + extra_len
+            if zlib.crc32(raw[payload : payload + info.file_size]) != info.CRC:
+                raise ValueError(f"CRC mismatch for member {info.filename!r}")
+            f.seek(payload)
+            version = np.lib.format.read_magic(f)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(f)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(f)
+            else:
+                raise ValueError(f"unsupported npy format version {version}")
+            if dtype.hasobject:
+                raise ValueError("object arrays are not artifact material")
+            if fortran and len(shape) > 1:
+                raise ValueError("fortran-order members are not supported")
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            arr = np.frombuffer(raw, dtype=dtype, count=count, offset=f.tell())
+            out[name] = arr.reshape(shape)
+    return out
+
+
+def _read_artifact(path: Path) -> tuple[dict[str, np.ndarray], bool]:
+    """``(arrays, mmapped)`` for *path*; raises if unreadable either way."""
+    try:
+        return _read_npz_mmap(path), True
+    except Exception:
+        pass  # structural surprise or damage: the copy path decides
+    with np.load(path, allow_pickle=False) as z:
+        return {k: z[k] for k in z.files}, False
+
+
+class EngineStore:
+    """Content-hash-keyed persistent store of compiled SpMV engines.
+
+    One instance is cheap (a directory handle plus counters); every
+    operation re-resolves paths so concurrent stores over the same
+    directory compose through the filesystem, exactly like the
+    partition cache.
+    """
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_store_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.counters = {
+            "hits": 0,
+            "misses": 0,
+            "stale": 0,
+            "corrupt": 0,
+            "saves": 0,
+            "mmap_loads": 0,
+            "copy_loads": 0,
+        }
+
+    def path(self, key: EngineKey | str) -> Path:
+        return self.root / f"{key}.engine.npz"
+
+    # -- write path --------------------------------------------------------
+
+    def save(
+        self,
+        key: EngineKey,
+        engine: SpmvEngine,
+        extra_meta: dict | None = None,
+        verify: bool = True,
+    ) -> Path:
+        """Persist *engine* under *key* atomically; returns the path.
+
+        With ``verify`` (the default) the tmp file is read back through
+        the client loader and checked bit-identical — members byte-equal
+        and ``spmv``/``spmm`` equal on a seeded probe — before the
+        rename publishes it. An existing entry is replaced atomically.
+        """
+        path = self.path(key)
+        meta = {
+            "schema": ARTIFACT_SCHEMA,
+            "key": str(key),
+            "matrix_hash": key.matrix_hash,
+            "method": key.method,
+            "procs": key.procs,
+            "seed": key.seed,
+            "variant": key.variant,
+            "n": int(engine.n),
+            "engine_nbytes": int(engine.nbytes),
+        }
+        if extra_meta:
+            meta.update(extra_meta)
+        arrays = engine.to_arrays()
+        tmp = path.with_name(
+            f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}"
+        )
+        try:
+            with open(tmp, "wb") as f:
+                np.savez(f, meta=_meta_array(meta), **arrays)
+            if verify:
+                self._verify(tmp, key, engine, arrays)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.counters["saves"] += 1
+        return path
+
+    def _verify(
+        self, tmp: Path, key: EngineKey, engine: SpmvEngine, arrays: dict
+    ) -> None:
+        loaded, _ = _read_artifact(tmp)
+        for name in _MEMBERS:
+            if not np.array_equal(arrays[name], loaded[name]):
+                raise StoreVerifyError(
+                    f"artifact member {name!r} did not round-trip for {key}"
+                )
+        clone = SpmvEngine.from_arrays(loaded)
+        rng = _probe_rng(key)
+        x = rng.standard_normal(engine.n)
+        X = rng.standard_normal((engine.n, 2))
+        if not np.array_equal(engine.spmv(x), clone.spmv(x)):
+            raise StoreVerifyError(f"loaded spmv diverged from compiled for {key}")
+        if not np.array_equal(engine.spmm(X), clone.spmm(X)):
+            raise StoreVerifyError(f"loaded spmm diverged from compiled for {key}")
+
+    # -- read path ---------------------------------------------------------
+
+    def load(self, key: EngineKey) -> LoadedEngine | None:
+        """Reconstruct the engine for *key*, or ``None`` on any miss.
+
+        Misses include: no artifact, stale schema, and corruption of
+        any kind (the caller rebuilds and the save replaces the entry).
+        """
+        path = self.path(key)
+        if not path.exists():
+            self.counters["misses"] += 1
+            return None
+        try:
+            arrays, mmapped = _read_artifact(path)
+            meta = _decode_meta(arrays.pop("meta"))
+            if meta.get("schema") != ARTIFACT_SCHEMA:
+                self.counters["stale"] += 1
+                return None
+            engine = SpmvEngine.from_arrays(arrays)
+        except Exception:
+            self.counters["corrupt"] += 1
+            return None
+        self.counters["hits"] += 1
+        self.counters["mmap_loads" if mmapped else "copy_loads"] += 1
+        return LoadedEngine(engine=engine, meta=meta, mmapped=mmapped, path=path)
+
+    def load_meta(self, key: EngineKey) -> dict | None:
+        """The metadata member alone (no array mapping); None on miss.
+
+        This is the cheap probe the regress harness uses to skip whole
+        cell builds: artifact metadata can carry precomputed
+        ``cell_metrics`` alongside the engine bits.
+        """
+        meta = self._raw_meta(self.path(key))
+        if meta is None or meta.get("schema") != ARTIFACT_SCHEMA:
+            return None
+        return meta
+
+    @staticmethod
+    def _raw_meta(path: Path) -> dict | None:
+        try:
+            with zipfile.ZipFile(path) as zf, zf.open("meta.npy") as f:
+                return _decode_meta(np.lib.format.read_array(f, allow_pickle=False))
+        except Exception:
+            return None
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """One record per artifact on disk (``repro cache list``)."""
+        out = []
+        for p in sorted(self.root.glob("*.engine.npz")):
+            rec: dict = {"file": p.name, "bytes": p.stat().st_size}
+            meta = self._raw_meta(p)
+            if meta is None:
+                rec["status"] = "corrupt"
+            else:
+                for field_name in ("key", "n", "procs", "method", "seed", "schema"):
+                    rec[field_name] = meta.get(field_name)
+                rec["matrix"] = meta.get("matrix")
+                rec["status"] = (
+                    "ok" if meta.get("schema") == ARTIFACT_SCHEMA else "stale"
+                )
+            out.append(rec)
+        return out
+
+    def evict(self, key: EngineKey | str) -> bool:
+        """Drop one entry; True if it existed."""
+        path = self.path(key)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def clear(self) -> int:
+        """Drop every entry; returns the count removed."""
+        removed = 0
+        for p in self.root.glob("*.engine.npz"):
+            p.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats_dict(self) -> dict:
+        """JSON view for serve ``stats`` and the cache CLI."""
+        files = list(self.root.glob("*.engine.npz"))
+        return {
+            "dir": str(self.root),
+            "entries": len(files),
+            "bytes": sum(p.stat().st_size for p in files),
+            "counters": dict(self.counters),
+        }

@@ -109,6 +109,9 @@ class LoadgenResult:
     p99_ms: float
     max_ms: float
     batch_sizes: dict[int, int] = field(default_factory=dict)
+    #: server-side engine lookup outcomes (mem_hit/disk_hit/built) at the
+    #: end of the run — lets callers assert cold-path behavior directly
+    tiers: dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -135,7 +138,20 @@ class LoadgenResult:
             "max_ms": round(self.max_ms, 4),
             "mean_batch_size": round(self.mean_batch_size, 3),
             "batch_sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+            "engine_tiers": dict(self.tiers),
         }
+
+
+def _query_tiers(socket_path: str, timeout: float) -> dict[str, int]:
+    """Best-effort fetch of the server's engine-tier counters (health op)."""
+    try:
+        with ServeClient(socket_path, timeout=timeout) as client:
+            resp, _ = client.request({"op": "health"})
+        if resp.get("ok"):
+            return dict(resp.get("tiers") or {})
+    except (OSError, ProtocolError):
+        pass
+    return {}
 
 
 def run_loadgen(
@@ -255,6 +271,7 @@ def run_loadgen(
 
     lat_ms = np.asarray(latencies) * 1e3 if latencies else np.zeros(1)
     return LoadgenResult(
+        tiers=_query_tiers(socket_path, timeout),
         matrix=matrix,
         method=method,
         procs=procs,
@@ -316,6 +333,7 @@ class ChaosSoakResult:
     max_ms: float
     injected_wire: dict[str, int] = field(default_factory=dict)
     injected_semantic: dict[str, int] = field(default_factory=dict)
+    tiers: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -345,6 +363,7 @@ class ChaosSoakResult:
             "max_ms": round(self.max_ms, 4),
             "injected_wire": dict(self.injected_wire),
             "injected_semantic": dict(self.injected_semantic),
+            "engine_tiers": dict(self.tiers),
         }
 
 
@@ -528,4 +547,5 @@ def run_chaos_soak(
         p99_ms=float(np.percentile(lat_ms, 99)),
         max_ms=float(lat_ms.max()),
         injected_semantic=semantic,
+        tiers=_query_tiers(warm_path, timeout),
     )

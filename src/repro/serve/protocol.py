@@ -300,7 +300,8 @@ class ServeClient:
             raise ProtocolError("connection closed mid-request")
         try:
             resp: dict[str, Any] = json.loads(line)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # a corrupted frame can break UTF-8 before it breaks JSON
             raise ProtocolError(f"bad JSON response: {exc}") from exc
         if not isinstance(resp, dict):
             raise ProtocolError("response must be a JSON object")

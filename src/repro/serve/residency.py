@@ -1,4 +1,4 @@
-"""Engine residency: hot matrices stay compiled behind an LRU.
+"""Engine residency: hot matrices stay compiled behind a two-tier lookup.
 
 The expensive artefacts of serving a matvec are, in cost order: the
 partition (seconds — amortized by the on-disk partition cache), the
@@ -6,18 +6,35 @@ partition (seconds — amortized by the on-disk partition cache), the
 compiled :class:`~repro.runtime.engine.SpmvEngine` (tens of
 milliseconds), and the multiply itself (sub-millisecond). A server that
 rebuilt any of the first two per request would be paying the one-shot
-CLI tax this package exists to remove, so compiled engines stay resident
-here, keyed by ``(matrix content hash, method, procs, seed)`` — the same
+CLI tax this package exists to remove, so lookups go through two tiers:
+
+1. **memory** — the LRU of live engines below (a ``mem_hit``);
+2. **disk** — the compiled-artifact store
+   (:class:`repro.runtime.store.EngineStore`): a cold key whose engine
+   a previous process persisted is reconstructed from a zero-copy mmap
+   in ~a millisecond (a ``disk_hit``), skipping partition → maps →
+   plan → compile entirely;
+3. only then does the server **build** (and persist for the next
+   process — a ``built``).
+
+Keys are ``(matrix content hash, method, procs, seed)`` — the same
 content-hash scheme as the partition cache
 (:func:`repro.bench.harness.cached_rpart` uses
-``{hash}_{kind}_k{nparts}_s{seed}``), so a resident engine and its
-cached rpart always name the same partition.
+``{hash}_{kind}_k{nparts}_s{seed}``), so a resident engine, its disk
+artifact, and its cached rpart all name the same partition. Tier
+outcomes are counted (``tier_counts``) and reported through serve
+``health``/``stats`` so load and chaos harnesses can assert cold-path
+behavior instead of inferring it from latency.
 
 Eviction is least-recently-used, bounded by engine count and optionally
 by resident bytes (:attr:`SpmvEngine.nbytes
 <repro.runtime.engine.SpmvEngine.nbytes>`). Eviction only forgets — the
-partition survives on disk, so re-admission costs an engine compile, not
-a re-partition.
+partition and the engine artifact survive on disk, so re-admission
+costs an mmap load, not a re-partition. Because the engine's ABFT
+operators materialize lazily — *after* admission — every admitted
+engine gets an ``abft_listener`` that re-checks the byte budget the
+moment they appear, so the budget holds even for footprint that did not
+exist at admission time.
 """
 
 from __future__ import annotations
@@ -26,35 +43,33 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..runtime.store import EngineKey
+
 if TYPE_CHECKING:  # import cycle guard: runtime imports stay lazy
     from ..runtime.distmatrix import DistSparseMatrix
     from ..runtime.engine import SpmvEngine
+    from ..runtime.store import EngineStore
 
 __all__ = ["EngineKey", "ResidentEngine", "EngineResidency"]
 
 
-@dataclass(frozen=True)
-class EngineKey:
-    """Identity of one resident engine (mirrors the partition-cache key)."""
-
-    matrix_hash: str
-    method: str
-    procs: int
-    seed: int
-
-    def __str__(self) -> str:
-        return f"{self.matrix_hash}_{self.method}_k{self.procs}_s{self.seed}"
-
-
 @dataclass
 class ResidentEngine:
-    """One hot entry: the compiled engine plus its provenance and stats."""
+    """One hot entry: the compiled engine plus its provenance and stats.
+
+    ``dist`` is ``None`` for engines reconstructed from the disk store —
+    the whole point of the artifact is skipping the
+    :class:`DistSparseMatrix` build. The rare paths that need one (the
+    fault-injection pricing hooks) call ``dist_builder``, attached by
+    the server, to rebuild it lazily.
+    """
 
     key: EngineKey
     matrix: str  # display name the first admitting request used
-    dist: "DistSparseMatrix"
+    dist: "DistSparseMatrix | None"
     engine: "SpmvEngine"
     batcher: object | None = None  # MicroBatcher, attached by the server
+    dist_builder: object | None = None  # () -> DistSparseMatrix, lazy
     hits: int = 0
     cold_partition_seconds: float = 0.0
     compile_seconds: float = 0.0
@@ -68,6 +83,16 @@ class ResidentEngine:
     def nbytes(self) -> int:
         return self.engine.nbytes
 
+    def ensure_dist(self) -> "DistSparseMatrix":
+        """The backing distribution, rebuilt on demand for store loads."""
+        if self.dist is None:
+            if self.dist_builder is None:
+                raise RuntimeError(
+                    f"entry {self.key} has no distribution and no builder"
+                )
+            self.dist = self.dist_builder()
+        return self.dist
+
     def as_dict(self) -> dict:
         """JSON view for the ``stats`` op."""
         return {
@@ -78,7 +103,9 @@ class ResidentEngine:
             "method": self.key.method,
             "seed": self.key.seed,
             "nbytes": self.nbytes,
+            "abft_bytes": self.engine.abft_bytes,
             "hits": self.hits,
+            "engine_source": self.meta.get("engine_source", "built"),
             "cold_partition_seconds": round(self.cold_partition_seconds, 6),
             "compile_seconds": round(self.compile_seconds, 6),
         }
@@ -90,18 +117,32 @@ class EngineResidency:
     Not thread-safe by design: the server touches it only from the event
     loop thread, which is the synchronization discipline of the whole
     serve layer (compute may block the loop for a flush, admission may
-    not interleave).
+    not interleave). The one exception is :meth:`load_from_store`, which
+    is pure store I/O plus counter bumps and is explicitly safe to run
+    off-loop (the server calls it via ``asyncio.to_thread``); admission
+    of its result still happens on the loop.
     """
 
-    def __init__(self, max_engines: int = 8, max_bytes: int | None = None):
+    def __init__(
+        self,
+        max_engines: int = 8,
+        max_bytes: int | None = None,
+        store: "EngineStore | None" = None,
+    ):
         if max_engines < 1:
             raise ValueError(f"max_engines must be >= 1, got {max_engines}")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_engines = max_engines
         self.max_bytes = max_bytes
+        self.store = store
         self._entries: OrderedDict[EngineKey, ResidentEngine] = OrderedDict()
         self.evictions = 0
+        #: lookup outcomes by tier: memory LRU / disk store / fresh build
+        self.tier_counts = {"mem_hit": 0, "disk_hit": 0, "built": 0}
+        #: post-admission ABFT budget re-checks fired / evictions they forced
+        self.abft_rechecks = 0
+        self.abft_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -110,22 +151,55 @@ class EngineResidency:
         return key in self._entries
 
     def get(self, key: EngineKey) -> ResidentEngine | None:
-        """Look up *key*, refreshing its recency on a hit."""
+        """Look up *key* in memory, refreshing its recency on a hit."""
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             entry.hits += 1
+            self.tier_counts["mem_hit"] += 1
         return entry
+
+    def load_from_store(self, key: EngineKey, matrix: str) -> ResidentEngine | None:
+        """Tier 2: reconstruct *key* from the disk store (None on miss).
+
+        Blocking (file I/O) — safe off the event loop. The returned
+        entry is *not* admitted; the caller attaches a batcher and a
+        ``dist_builder`` and calls :meth:`admit` from the loop thread.
+        """
+        if self.store is None:
+            return None
+        loaded = self.store.load(key)
+        if loaded is None:
+            return None
+        self.tier_counts["disk_hit"] += 1
+        return ResidentEngine(
+            key=key,
+            matrix=matrix,
+            dist=None,
+            engine=loaded.engine,
+            meta={
+                "engine_source": "disk",
+                "mmapped": loaded.mmapped,
+                "artifact": loaded.path.name,
+            },
+        )
+
+    def note_built(self) -> None:
+        """Count a tier-3 outcome (both store tiers missed; fresh build)."""
+        self.tier_counts["built"] += 1
 
     def admit(self, entry: ResidentEngine) -> list[ResidentEngine]:
         """Insert *entry*; return whatever was evicted to make room.
 
         The newest entry is never evicted, even when it alone exceeds
         ``max_bytes`` — a request for an oversized matrix should succeed
-        (and evict everything else) rather than thrash.
+        (and evict everything else) rather than thrash. Admission also
+        arms the engine's ``abft_listener`` so the byte budget is
+        re-checked when the lazy ABFT operators materialize later.
         """
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
+        entry.engine.abft_listener = lambda k=entry.key: self._abft_materialized(k)
         evicted: list[ResidentEngine] = []
         while len(self._entries) > self.max_engines:
             evicted.append(self._entries.popitem(last=False)[1])
@@ -133,19 +207,60 @@ class EngineResidency:
             while len(self._entries) > 1 and self.resident_bytes() > self.max_bytes:
                 evicted.append(self._entries.popitem(last=False)[1])
         self.evictions += len(evicted)
+        for gone in evicted:
+            self._disarm(gone)
         return evicted
+
+    def _abft_materialized(self, key: EngineKey) -> None:
+        """Budget re-check fired by an engine growing its ABFT operators.
+
+        The newly grown entry is treated like a fresh admission: it is
+        never evicted itself (evicting the engine that is mid-ABFT-check
+        would thrash), but older entries go until the budget holds
+        again. Evicted batchers are drained here — the listener fires on
+        the event-loop thread (ABFT runs inside request handling), the
+        same context :meth:`admit` eviction runs in.
+        """
+        self.abft_rechecks += 1
+        if self.max_bytes is None or key not in self._entries:
+            return
+        while len(self._entries) > 1 and self.resident_bytes() > self.max_bytes:
+            victim_key = next(k for k in self._entries if k != key)
+            victim = self._entries.pop(victim_key)
+            self.evictions += 1
+            self.abft_evictions += 1
+            self._disarm(victim)
+            if victim.batcher is not None:
+                victim.batcher.drain()
+
+    @staticmethod
+    def _disarm(entry: ResidentEngine) -> None:
+        entry.engine.abft_listener = None
 
     def evict(self, key: EngineKey) -> ResidentEngine | None:
         """Forcibly drop *key* (explicit eviction; counts in the stats)."""
         entry = self._entries.pop(key, None)
         if entry is not None:
             self.evictions += 1
+            self._disarm(entry)
         return entry
 
     def resident_bytes(self) -> int:
-        """Total engine bytes currently resident."""
+        """Total engine bytes currently resident (ABFT operators included)."""
         return sum(e.nbytes for e in self._entries.values())
 
     def entries(self) -> list[ResidentEngine]:
         """Entries in LRU order (oldest first) — for the ``stats`` op."""
         return list(self._entries.values())
+
+    def stats(self) -> dict:
+        """Aggregate residency stats (tier outcomes + budget accounting)."""
+        return {
+            "tiers": dict(self.tier_counts),
+            "evictions": self.evictions,
+            "abft_rechecks": self.abft_rechecks,
+            "abft_evictions": self.abft_evictions,
+            "resident": len(self._entries),
+            "resident_bytes": self.resident_bytes(),
+            "store": self.store.stats_dict() if self.store is not None else None,
+        }

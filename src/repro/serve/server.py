@@ -13,14 +13,20 @@ inline, see :mod:`~repro.serve.batching`). Request lifecycle:
 
 **cold matvec / partition**
     The engine key is ``(matrix hash, method, procs, seed)`` — identical
-    to the partition-cache key, so a cold engine first tries the on-disk
-    rpart. A true partition-cache miss is sharded to a
+    to the partition-cache key, so a cold engine walks the storage
+    tiers in cost order: first the **compiled-engine artifact store**
+    (:class:`repro.runtime.store.EngineStore` — a zero-copy mmap load
+    that skips partition → maps → plan → compile entirely), then the
+    on-disk rpart cache. A true miss of both is sharded to a
     :class:`~repro.parallel.ResilientPool` worker with a per-request
     timeout and bounded retry; concurrent requests for the same key
-    coalesce onto one build (single-flight). If the pool exhausts its
-    budget the server **degrades gracefully**: the partition runs on the
-    reference in-process path instead, the request still completes, and
-    the response says so.
+    coalesce onto one build (single-flight), and the freshly compiled
+    engine is persisted back to the store so the *next* process cold
+    start is an mmap load. If the pool exhausts its budget the server
+    **degrades gracefully**: the partition runs on the reference
+    in-process path instead, the request still completes, and the
+    response says so. The ``warmup`` op (and ``repro serve warmup``)
+    prefetches a matrix list through the same path ahead of traffic.
 
 **worker death**
     A killed partition worker (real death — the injection calls
@@ -145,6 +151,11 @@ class ServeConfig:
     partition_retries: int = 2
     pool_workers: int = 1
     cache_dir: str | None = None  # None = $REPRO_CACHE_DIR / default
+    #: compiled-engine artifact store directory (None = default, which
+    #: honors $REPRO_ENGINE_STORE_DIR and nests under the cache dir)
+    engine_store_dir: str | None = None
+    #: disable the disk tier entirely (memory LRU -> build, PR 7 behavior)
+    use_engine_store: bool = True
     allow_fault_injection: bool = False
     preload: tuple[str, ...] = ()
     #: per-engine pending-request bound before load shedding
@@ -204,8 +215,11 @@ class MatvecServer:
 
     def __init__(self, config: ServeConfig):
         self.config = config
+        self.store = self._make_store()
         self.residency = EngineResidency(
-            max_engines=config.max_engines, max_bytes=config.max_resident_bytes
+            max_engines=config.max_engines,
+            max_bytes=config.max_resident_bytes,
+            store=self.store,
         )
         self.pool = ResilientPool(
             max_workers=config.pool_workers,
@@ -216,6 +230,7 @@ class MatvecServer:
             "requests": 0,
             "matvec": 0,
             "partition": 0,
+            "warmup": 0,
             "health": 0,
             "stats": 0,
             "errors": 0,
@@ -357,6 +372,21 @@ class MatvecServer:
 
         return default_cache_dir()
 
+    def _make_store(self):
+        """The engine artifact store per config (None = disk tier off)."""
+        if not self.config.use_engine_store:
+            return None
+        from ..runtime.store import EngineStore
+
+        root = self.config.engine_store_dir
+        if root is None and self.config.cache_dir is not None and not os.environ.get(
+            "REPRO_ENGINE_STORE_DIR"
+        ):
+            # an explicit cache dir is a hermeticity request (tests,
+            # chaos demos): keep the engine store inside it too
+            root = Path(self.config.cache_dir) / "engines"
+        return EngineStore(root)
+
     async def _load_matrix(self, ref: str) -> tuple[str, object, str]:
         """Resolve *ref* (corpus name or file path) to ``(name, A, hash)``."""
         cached = self._matrices.get(ref)
@@ -404,7 +434,7 @@ class MatvecServer:
         key = EngineKey(mhash, method, procs, seed)
         entry = self.residency.get(key)
         if entry is not None:
-            return _BuildOutcome(entry, {"cold": False})
+            return _BuildOutcome(entry, {"cold": False, "engine_source": "memory"})
         task = self._building.get(key)
         if task is None:
             task = asyncio.ensure_future(
@@ -427,11 +457,58 @@ class MatvecServer:
             timeout=self.config.partition_timeout_s,
         )
 
+    def _dist_builder(self, A, method: str, procs: int, seed: int):
+        """A blocking ``() -> DistSparseMatrix`` for store-loaded entries.
+
+        Disk-loaded engines skip the distribution build entirely; the
+        fault-pricing paths that need one (slow-engine injection) call
+        this lazily, reusing the cached rpart so the rebuild costs a
+        layout + plan build, never a re-partition in the common case.
+        """
+
+        def build():
+            from ..bench.harness import cached_rpart
+            from ..layouts import make_layout
+            from ..runtime import CAB, DistSparseMatrix
+
+            kind = method.partition("-")[2]
+            rpart = None
+            if kind in _PARTITIONED_KINDS:
+                rpart = cached_rpart(
+                    A, kind, procs, seed=seed, cache_dir=self._cache_dir()
+                )
+            layout = make_layout(method, A, procs, seed=seed, rpart=rpart)
+            return DistSparseMatrix(A, layout, CAB)
+
+        return build
+
     async def _build_engine(
         self, key: EngineKey, name: str, A, method: str, procs: int, seed: int,
         fault_kill: bool,
     ) -> _BuildOutcome:
         meta: dict = {"cold": True, "degraded": False}
+        # tier 2: the compiled-artifact store — a zero-copy mmap load
+        # that skips partition -> maps -> plan -> compile entirely
+        if self.store is not None:
+            t_load = time.perf_counter()
+            entry = await asyncio.to_thread(
+                self.residency.load_from_store, key, name
+            )
+            if entry is not None:
+                entry.batcher = MicroBatcher(
+                    entry.engine,
+                    max_batch=self.config.max_batch,
+                    deadline_s=self.config.batch_deadline_ms / 1e3,
+                    max_pending=self.config.max_queue,
+                )
+                entry.dist_builder = self._dist_builder(A, method, procs, seed)
+                for evicted in self.residency.admit(entry):
+                    if evicted.batcher is not None:
+                        evicted.batcher.drain()
+                meta["engine_source"] = "disk"
+                meta["mmapped"] = entry.meta.get("mmapped", False)
+                meta["load_seconds"] = round(time.perf_counter() - t_load, 6)
+                return _BuildOutcome(entry, meta)
         kind = method.partition("-")[2]
         rpart = None
         deaths_before = self.pool.deaths
@@ -504,8 +581,20 @@ class MatvecServer:
         for evicted in self.residency.admit(entry):
             if evicted.batcher is not None:
                 evicted.batcher.drain()
+        self.residency.note_built()
+        meta["engine_source"] = "built"
         meta["partition_seconds"] = round(partition_seconds, 6)
         meta["compile_seconds"] = round(entry.compile_seconds, 6)
+        if self.store is not None:
+            # persist for the next process's cold start; best-effort (a
+            # failed save must never fail the request that built it)
+            try:
+                await asyncio.to_thread(
+                    self.store.save, key, entry.engine, {"matrix": name}
+                )
+                meta["stored"] = True
+            except Exception as exc:
+                meta["store_error"] = f"{type(exc).__name__}: {exc}"
         return _BuildOutcome(entry, meta)
 
     def _price_worker_death(
@@ -560,6 +649,8 @@ class MatvecServer:
                 return await self._handle_matvec(rid, msg, payload)
             if op == "partition":
                 return await self._handle_partition(rid, msg)
+            if op == "warmup":
+                return await self._handle_warmup(rid, msg)
             raise ProtocolError(f"unknown op {op!r}")
         except QueueFull as exc:
             return self._shed_response(rid, str(exc))
@@ -603,6 +694,7 @@ class MatvecServer:
             "state": self.state,
             "resident": len(self.residency),
             "resident_bytes": self.residency.resident_bytes(),
+            "tiers": dict(self.residency.tier_counts),
             "inflight": self._inflight_work,
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "requests": self.counters["requests"],
@@ -628,6 +720,7 @@ class MatvecServer:
             "counters": dict(self.counters),
             "resident": entries,
             "evictions": self.residency.evictions,
+            "residency": self.residency.stats(),
             "inflight": self._inflight_work,
             "idem_entries": len(self._idem),
             "pool": {"deaths": self.pool.deaths, "retries": self.pool.retries},
@@ -683,8 +776,14 @@ class MatvecServer:
         from ..runtime.faults import straggler_overhead_seconds
 
         await asyncio.sleep(fault["slow_ms"] / 1e3)
+        # store-loaded entries have no DistSparseMatrix; pricing needs
+        # one, so rebuild it lazily off the loop (cached rpart, no
+        # re-partition) — the injection path only, never the hot path
+        dist = entry.dist
+        if dist is None:
+            dist = await asyncio.to_thread(entry.ensure_dist)
         modeled = straggler_overhead_seconds(
-            entry.dist, rank=0, factor=fault["straggler_factor"]
+            dist, rank=0, factor=fault["straggler_factor"]
         )
         event = {
             "kind": "slow-engine",
@@ -805,6 +904,60 @@ class MatvecServer:
         resp["id"] = rid
         resp["spans_ms"] = recorder.as_millis()
         return encode_vector(resp, y, encoding)
+
+    async def _handle_warmup(self, rid, msg: dict) -> bytes:
+        """Prefetch a matrix list into residency ahead of traffic.
+
+        Each entry walks the same tiers a cold matvec would (memory →
+        artifact store → build-and-persist); the response reports the
+        tier each engine came from, so a deploy script can verify its
+        warmed fleet will serve first requests from mmap loads.
+        """
+        self.counters["warmup"] += 1
+        if self._draining:
+            return self._draining_response(rid)
+        if self._inflight_work >= self.config.max_inflight:
+            return self._shed_response(
+                rid,
+                f"{self._inflight_work} request(s) in flight "
+                f"(bound {self.config.max_inflight})",
+            )
+        matrices = msg.get("matrices")
+        if not isinstance(matrices, list) or not matrices or not all(
+            isinstance(m, str) and m for m in matrices
+        ):
+            raise ProtocolError("warmup needs 'matrices': a non-empty list of names")
+        method = str(msg.get("method", self.config.default_method)).lower()
+        procs = msg.get("procs", self.config.default_procs)
+        seed = msg.get("seed", self.config.default_seed)
+        if not isinstance(procs, int) or procs < 1:
+            raise ProtocolError(f"procs must be a positive int, got {procs!r}")
+        if not isinstance(seed, int):
+            raise ProtocolError(f"seed must be an int, got {seed!r}")
+        self._work_started()
+        warmed = []
+        try:
+            for ref in matrices:
+                t0 = time.perf_counter()
+                name, A, mhash = await self._load_matrix(ref)
+                outcome = await self._ensure_engine(
+                    name, A, mhash, method, procs, seed
+                )
+                warmed.append({
+                    "matrix": name,
+                    "engine_key": str(outcome.entry.key),
+                    "engine_source": outcome.meta.get("engine_source", "built"),
+                    "seconds": round(time.perf_counter() - t0, 6),
+                })
+        finally:
+            self._work_finished()
+        return encode_message({
+            "id": rid,
+            "ok": True,
+            "op": "warmup",
+            "warmed": warmed,
+            "tiers": dict(self.residency.tier_counts),
+        })
 
     async def _handle_partition(self, rid, msg: dict) -> bytes:
         self.counters["partition"] += 1

@@ -128,3 +128,44 @@ class TestCli:
             ["faults", "campaign", "x", "--seed", "7"],
         ):
             assert parser.parse_args(argv).seed == 7
+
+
+class TestCacheCli:
+    """`repro cache` + the --engine-store plumbing that populates it."""
+
+    def _populated_store(self, mtx_file, tmp_path):
+        store = tmp_path / "engines"
+        rc = main([
+            "spmv", mtx_file, "-p", "4", "--methods", "2d-random",
+            "--engine-store", str(store),
+        ])
+        assert rc == 0
+        return store
+
+    def test_spmv_populates_store_and_list_shows_it(
+        self, mtx_file, tmp_path, capsys
+    ):
+        store = self._populated_store(mtx_file, tmp_path)
+        artifacts = list(store.glob("*.engine.npz"))
+        assert len(artifacts) == 1
+        assert main(["cache", "list", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "_2d-random_k4_s0" in out
+        assert "ok" in out
+        assert "1 artifact(s)" in out
+
+    def test_evict_by_key_then_missing_is_nonzero(
+        self, mtx_file, tmp_path, capsys
+    ):
+        store = self._populated_store(mtx_file, tmp_path)
+        key = next(store.glob("*.engine.npz")).name.removesuffix(".engine.npz")
+        assert main(["cache", "evict", key, "--store", str(store)]) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert main(["cache", "evict", key, "--store", str(store)]) == 1
+
+    def test_clear_empties_the_store(self, mtx_file, tmp_path, capsys):
+        store = self._populated_store(mtx_file, tmp_path)
+        assert main(["cache", "clear", "--store", str(store)]) == 0
+        assert "removed 1 artifact(s)" in capsys.readouterr().out
+        assert main(["cache", "list", "--store", str(store)]) == 0
+        assert "empty" in capsys.readouterr().out

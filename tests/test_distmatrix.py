@@ -166,3 +166,52 @@ class TestScatterGather:
         dist = DistSparseMatrix(small_rmat, lay)
         with pytest.raises(ValueError, match="shape"):
             dist.scatter_vector(np.zeros(3))
+
+
+class TestAssemblyKernels:
+    """Vector vs reference cold-path kernels: bit-identical by contract."""
+
+    @pytest.mark.parametrize("method", ALL_CHEAP + ["2d-gp"])
+    def test_assembly_bit_identical(self, small_powerlaw, method, rng):
+        A = small_powerlaw
+        lay = make_layout(method, A, 6, seed=3)
+        dv = DistSparseMatrix(A, lay, kernel="vector")
+        dr = DistSparseMatrix(A, lay, kernel="reference")
+        for r in range(dv.nprocs):
+            assert np.array_equal(dv.row_maps[r], dr.row_maps[r])
+            assert np.array_equal(dv.col_maps[r], dr.col_maps[r])
+            bv, br = dv.local_blocks[r], dr.local_blocks[r]
+            assert np.array_equal(bv.data, br.data)
+            assert np.array_equal(bv.indices, br.indices)
+            assert np.array_equal(bv.indptr, br.indptr)
+        x = rng.standard_normal(A.shape[0])
+        assert np.array_equal(dv.spmv(x), dr.spmv(x))
+
+    def test_scatter_gather_bit_identical(self, small_rmat, rng):
+        lay = make_layout("2d-random", small_rmat, 5, seed=4)
+        dv = DistSparseMatrix(small_rmat, lay, kernel="vector")
+        dr = DistSparseMatrix(small_rmat, lay, kernel="reference")
+        x = rng.standard_normal(small_rmat.shape[0])
+        sv, sr = dv.scatter_vector(x), dr.scatter_vector(x)
+        assert all(np.array_equal(a, b) for a, b in zip(sv, sr))
+        assert np.array_equal(dv.gather_vector(sv), dr.gather_vector(sr))
+
+    def test_use_kernel_switches_default(self, small_rmat):
+        from repro.runtime import use_kernel
+
+        lay = make_layout("1d-block", small_rmat, 3)
+        with use_kernel("reference"):
+            dist = DistSparseMatrix(small_rmat, lay)
+            assert dist._kernel == "reference"
+        dist = DistSparseMatrix(small_rmat, lay)
+        assert dist._kernel == "vector"
+
+    def test_unknown_kernel_rejected(self, small_rmat):
+        from repro.runtime import use_kernel
+
+        lay = make_layout("1d-block", small_rmat, 2)
+        with pytest.raises(ValueError, match="unknown distmatrix kernel"):
+            DistSparseMatrix(small_rmat, lay, kernel="simd")
+        with pytest.raises(ValueError, match="unknown distmatrix kernel"):
+            with use_kernel("simd"):
+                pass

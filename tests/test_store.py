@@ -1,0 +1,366 @@
+"""The compiled-engine artifact store: identity, atomicity, invalidation.
+
+The contracts under test:
+
+* **round-trip identity** — an engine reconstructed from its artifact
+  (zero-copy mmap path included) is bit-identical through ``spmv``,
+  ``spmm``, and the ABFT checksum machinery;
+* **corruption safety** — a damaged or truncated artifact is a clean
+  miss (rebuild), never a crash or a wrong answer, and a save
+  atomically replaces it;
+* **concurrency** — racing writers of the same key never leave a torn
+  artifact visible to readers;
+* **invalidation** — artifacts with a different schema stamp are stale
+  misses, so engines serialized by older code are rebuilt, not
+  mis-loaded;
+* **residency budget** — the lazy ABFT operators growing an admitted
+  engine trigger a byte-budget re-check, so ``max_bytes`` holds even
+  for footprint that did not exist at admission time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import zipfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.layouts import make_layout
+from repro.runtime import DistSparseMatrix, SpmvEngine
+from repro.runtime.store import (
+    ARTIFACT_SCHEMA,
+    EngineKey,
+    EngineStore,
+    StoreVerifyError,
+    default_store_dir,
+    matrix_hash,
+)
+from repro.serve.residency import EngineResidency, ResidentEngine
+
+PROCS = 8
+
+
+@pytest.fixture(scope="module")
+def compiled(small_rmat):
+    """One compiled engine + its key, shared across the module."""
+    layout = make_layout("2d-random", small_rmat, PROCS, seed=0)
+    dist = DistSparseMatrix(small_rmat, layout)
+    key = EngineKey(matrix_hash(small_rmat), "2d-random", PROCS, 0)
+    return small_rmat, dist.engine, key
+
+
+def _fresh_engine(A, seed=0):
+    layout = make_layout("2d-random", A, PROCS, seed=0)
+    engine = DistSparseMatrix(A, layout).engine
+    return engine, EngineKey(matrix_hash(A), "2d-random", PROCS, seed)
+
+
+class TestEngineKey:
+    def test_str_matches_partition_cache_form(self):
+        key = EngineKey("a" * 12, "2d-gp", 16, 3)
+        assert str(key) == "aaaaaaaaaaaa_2d-gp_k16_s3"
+
+    def test_variant_suffix_disambiguates_nested(self):
+        direct = EngineKey("a" * 12, "2d-gp", 16, 0)
+        nested = EngineKey("a" * 12, "2d-gp", 16, 0, "n64")
+        assert str(nested) == str(direct) + "_n64"
+        assert direct != nested
+
+    def test_matrix_hash_is_structural(self, small_rmat):
+        h = matrix_hash(small_rmat)
+        assert len(h) == 12
+        assert matrix_hash(small_rmat) == h
+        B = small_rmat.copy()
+        B.data = B.data * 2.0  # values don't enter the structure hash
+        assert matrix_hash(B) == h
+
+    def test_default_store_dir_honors_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_STORE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_store_dir() == tmp_path / "engines"
+        monkeypatch.setenv("REPRO_ENGINE_STORE_DIR", str(tmp_path / "x"))
+        assert default_store_dir() == tmp_path / "x"
+
+
+class _Tampered:
+    """Engine whose ``to_arrays`` disagrees with its spmv — must not publish."""
+
+    def __init__(self, engine, arrays):
+        self._engine = engine
+        self._arrays = arrays
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def to_arrays(self):
+        return self._arrays
+
+
+class TestRoundTrip:
+    def test_to_from_arrays_bit_identical(self, compiled, rng):
+        A, engine, _ = compiled
+        clone = SpmvEngine.from_arrays(engine.to_arrays())
+        x = rng.standard_normal(A.shape[0])
+        assert np.array_equal(engine.spmv(x), clone.spmv(x))
+
+    def test_mmap_load_spmv_spmm_abft(self, compiled, tmp_path, rng):
+        A, engine, key = compiled
+        store = EngineStore(tmp_path)
+        store.save(key, engine)
+        loaded = store.load(key)
+        assert loaded is not None and loaded.mmapped
+        x = rng.standard_normal(A.shape[0])
+        X = rng.standard_normal((A.shape[0], 3))
+        assert np.array_equal(engine.spmv(x), loaded.engine.spmv(x))
+        assert np.array_equal(engine.spmm(X), loaded.engine.spmm(X))
+        # the ABFT operators rebuild from the mmapped CSR and stay clean
+        y, partials = loaded.engine.spmv_with_partials(x)
+        assert np.array_equal(y, engine.spmv(x))
+        assert not loaded.engine.abft_check(x, partials, y).detected
+        assert loaded.engine.abft_bytes > 0
+        # injected corruption is still caught through the loaded engine
+        bad = partials.copy()
+        bad[0] += 1e3
+        assert loaded.engine.abft_check(x, bad).detected
+        assert store.counters["hits"] == 1
+        assert store.counters["mmap_loads"] == 1
+
+    def test_loaded_operators_are_readonly_views(self, compiled, tmp_path):
+        """Zero-copy loads hand out views the kernels must never mutate."""
+        _, engine, key = compiled
+        store = EngineStore(tmp_path)
+        store.save(key, engine)
+        loaded = store.load(key)
+        assert loaded.mmapped
+        with pytest.raises((ValueError, RuntimeError)):
+            loaded.engine._local.data[0] = 99.0
+
+    def test_members_are_stored_uncompressed(self, compiled, tmp_path):
+        """The zero-copy reader depends on ZIP_STORED members."""
+        _, engine, key = compiled
+        store = EngineStore(tmp_path)
+        path = store.save(key, engine)
+        with zipfile.ZipFile(path) as zf:
+            assert all(i.compress_type == zipfile.ZIP_STORED for i in zf.infolist())
+
+    def test_meta_carries_key_and_extras(self, compiled, tmp_path):
+        _, engine, key = compiled
+        store = EngineStore(tmp_path)
+        store.save(key, engine, extra_meta={"matrix": "m", "cell_metrics": {"a": 1}})
+        meta = store.load_meta(key)
+        assert meta["key"] == str(key)
+        assert meta["schema"] == ARTIFACT_SCHEMA
+        assert meta["cell_metrics"] == {"a": 1}
+        assert meta["n"] == engine.n
+
+    def test_verify_rejects_broken_serialization(self, compiled, tmp_path):
+        _, engine, key = compiled
+        store = EngineStore(tmp_path)
+        arrays = engine.to_arrays()
+        arrays["local_data"] = arrays["local_data"].copy()
+        arrays["local_data"][0] += 1.0
+        with pytest.raises(StoreVerifyError):
+            store.save(key, _Tampered(engine, arrays))
+        assert not store.path(key).exists()  # nothing published
+        assert not list(Path(tmp_path).glob("*.tmp-*"))  # no debris
+
+
+class TestCorruption:
+    def _saved(self, compiled, tmp_path):
+        _, engine, key = compiled
+        store = EngineStore(tmp_path)
+        path = store.save(key, engine)
+        return store, key, path
+
+    def test_flipped_byte_is_a_miss(self, compiled, tmp_path):
+        store, key, path = self._saved(compiled, tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.load(key) is None
+        assert store.counters["corrupt"] == 1
+
+    def test_truncation_is_a_miss(self, compiled, tmp_path):
+        store, key, path = self._saved(compiled, tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        assert store.load(key) is None
+        assert store.counters["corrupt"] == 1
+
+    def test_rebuild_atomically_replaces_damage(self, compiled, tmp_path):
+        _, engine, key = compiled
+        store, _, path = self._saved(compiled, tmp_path)
+        path.write_bytes(b"garbage")
+        assert store.load(key) is None  # clean miss, no crash
+        store.save(key, engine)  # the rebuild path
+        assert store.load(key) is not None
+        assert not list(Path(tmp_path).glob("*.tmp-*"))
+
+    def test_stale_schema_is_a_miss_not_a_misload(self, compiled, tmp_path):
+        store, key, path = self._saved(compiled, tmp_path)
+        # rewrite the meta member with a bumped schema, keeping the zip valid
+        with np.load(path) as z:
+            members = {k: z[k] for k in z.files}
+        meta = json.loads(members["meta"].tobytes().decode())
+        meta["schema"] = ARTIFACT_SCHEMA + 1
+        members["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+        with open(path, "wb") as f:
+            np.savez(f, **members)
+        assert store.load(key) is None
+        assert store.load_meta(key) is None
+        assert store.counters["stale"] == 1
+        assert store.entries()[0]["status"] == "stale"
+
+    def test_entries_and_evict(self, compiled, tmp_path):
+        store, key, _ = self._saved(compiled, tmp_path)
+        entries = store.entries()
+        assert [e["key"] for e in entries] == [str(key)]
+        assert entries[0]["status"] == "ok"
+        assert store.evict(key)
+        assert not store.evict(key)  # already gone
+        assert store.entries() == []
+        assert store.clear() == 0
+
+
+_WRITER_SCRIPT = """
+import sys
+import scipy.sparse as sp
+from repro.layouts import make_layout
+from repro.runtime import DistSparseMatrix
+from repro.runtime.store import EngineKey, EngineStore, matrix_hash
+
+mtx_path, store_dir, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+A = sp.load_npz(mtx_path)
+engine = DistSparseMatrix(A, make_layout("2d-random", A, {procs}, seed=0)).engine
+store = EngineStore(store_dir)
+key = EngineKey(matrix_hash(A), "2d-random", {procs}, 0)
+for _ in range(reps):
+    store.save(key, engine)
+"""
+
+
+class TestConcurrency:
+    def test_racing_writers_never_tear(self, compiled, tmp_path):
+        import scipy.sparse as sp
+
+        A, engine, key = compiled
+        mtx = tmp_path / "a.npz"
+        sp.save_npz(mtx, A)
+        store_dir = tmp_path / "store"
+        script = _WRITER_SCRIPT.format(procs=PROCS)
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(mtx), str(store_dir), "3"],
+                env=os.environ.copy(),
+            )
+            for _ in range(3)
+        ]
+        reader = EngineStore(store_dir)
+        x = np.random.default_rng(5).standard_normal(A.shape[0])
+        want = engine.spmv(x)
+        # hammer the read path while the writers race on the same key
+        while any(w.poll() is None for w in writers):
+            loaded = reader.load(key)
+            if loaded is not None:
+                assert np.array_equal(loaded.engine.spmv(x), want)
+        assert all(w.wait(timeout=120) == 0 for w in writers)
+        loaded = reader.load(key)
+        assert loaded is not None
+        assert np.array_equal(loaded.engine.spmv(x), want)
+        assert reader.counters["corrupt"] == 0
+        assert not list(store_dir.glob("*.tmp-*"))
+
+
+class TestAbftBudget:
+    """The residency byte budget under lazy ABFT materialization."""
+
+    def _admit(self, A, seed, residency):
+        engine, key = _fresh_engine(A, seed)
+        entry = ResidentEngine(key=key, matrix="m", dist=None, engine=engine)
+        residency.admit(entry)
+        return entry
+
+    @staticmethod
+    def _materialize_abft(entry, seed=0):
+        x = np.random.default_rng(seed).standard_normal(entry.engine.n)
+        _, partials = entry.engine.spmv_with_partials(x)
+        entry.engine.abft_check(x, partials)
+
+    def test_abft_bytes_zero_until_materialized(self, small_rmat):
+        engine, _ = _fresh_engine(small_rmat)
+        assert engine.abft_bytes == 0
+        base = engine.nbytes
+        engine._abft_operators()
+        assert engine.abft_bytes > 0
+        assert engine.nbytes == base + engine.abft_bytes
+
+    def test_materialization_triggers_recheck_and_eviction(self, small_rmat):
+        res = EngineResidency(max_engines=10)
+        first = self._admit(small_rmat, 0, res)
+        second = self._admit(small_rmat, 1, res)
+        # budget fits both engines now, but not after one ABFT growth
+        res.max_bytes = res.resident_bytes() + 1
+        self._materialize_abft(second)
+        assert res.abft_rechecks == 1
+        assert res.abft_evictions == 1
+        assert second.key in res  # the growing entry is never the victim
+        assert first.key not in res
+        assert res.resident_bytes() <= res.max_bytes
+
+    def test_budget_never_exceeded_after_growth(self, small_rmat):
+        res = EngineResidency(max_engines=10)
+        entries = [self._admit(small_rmat, s, res) for s in range(3)]
+        res.max_bytes = res.resident_bytes() + 1
+        self._materialize_abft(entries[-1])
+        # invariant: over-budget residency only survives as a single entry
+        assert res.resident_bytes() <= res.max_bytes or len(res) == 1
+        assert entries[-1].key in res
+        assert res.abft_evictions >= 1
+
+    def test_no_budget_means_recheck_is_a_noop(self, small_rmat):
+        res = EngineResidency(max_engines=10, max_bytes=None)
+        a = self._admit(small_rmat, 0, res)
+        b = self._admit(small_rmat, 1, res)
+        self._materialize_abft(b)
+        assert res.abft_rechecks == 1
+        assert res.abft_evictions == 0
+        assert a.key in res and b.key in res
+
+    def test_evicted_entries_are_disarmed(self, small_rmat):
+        res = EngineResidency(max_engines=10, max_bytes=None)
+        a = self._admit(small_rmat, 0, res)
+        res.evict(a.key)
+        assert a.engine.abft_listener is None
+        # late materialization on the evicted engine must not touch residency
+        self._materialize_abft(a)
+        assert res.abft_rechecks == 0
+
+    def test_as_dict_surfaces_abft_bytes(self, small_rmat):
+        res = EngineResidency(max_engines=10)
+        a = self._admit(small_rmat, 0, res)
+        assert a.as_dict()["abft_bytes"] == 0
+        self._materialize_abft(a)
+        assert a.as_dict()["abft_bytes"] == a.engine.abft_bytes > 0
+
+    def test_abft_drains_evicted_batcher(self, small_rmat):
+        class _Batcher:
+            drained = False
+
+            def drain(self):
+                self.drained = True
+
+        res = EngineResidency(max_engines=10)
+        victim = self._admit(small_rmat, 0, res)
+        victim.batcher = _Batcher()
+        grower = self._admit(small_rmat, 1, res)
+        res.max_bytes = res.resident_bytes() + 1
+        self._materialize_abft(grower)
+        assert victim.key not in res
+        assert victim.batcher.drained
