@@ -85,6 +85,38 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+#: BLAS/OpenMP thread-count knobs a worker process must pin to 1.
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def _pin_worker_threads() -> None:
+    """Process-pool worker initializer: one thread per worker, period.
+
+    Process- and thread-parallelism must never nest — J workers each
+    spinning T apply threads oversubscribes the machine J*T-fold and
+    makes every latency measurement a lie. Every pool this module (and
+    :class:`ResilientPool`) creates runs this in each worker: BLAS/OpenMP
+    pools and the engine's apply budget (``REPRO_THREADS`` plus the
+    process-global override) are all pinned to 1. Results are unaffected
+    — the threaded apply kernel is bit-identical to serial — so this is
+    purely a scheduling guard. (For fork-started workers an already
+    initialized BLAS may ignore the env pins; the engine budget pin is
+    what matters, and it always takes effect.)
+    """
+    for var in _THREAD_ENV_VARS:
+        os.environ[var] = "1"
+    os.environ["REPRO_THREADS"] = "1"
+    from .runtime.threads import set_default_threads
+
+    set_default_threads(1)
+
+
 def parallel_map(fn, items, jobs: int | None = None, executor: Executor | None = None):
     """Order-preserving map over a process pool.
 
@@ -98,7 +130,9 @@ def parallel_map(fn, items, jobs: int | None = None, executor: Executor | None =
     njobs = resolve_jobs(jobs)
     if njobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(njobs, len(items))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(njobs, len(items)), initializer=_pin_worker_threads
+    ) as pool:
         return list(pool.map(fn, items))
 
 
@@ -170,7 +204,9 @@ class ResilientPool:
 
                     ctx = multiprocessing.get_context(self._mp_context)
                 self._pool = ProcessPoolExecutor(
-                    max_workers=self._max_workers, mp_context=ctx
+                    max_workers=self._max_workers,
+                    mp_context=ctx,
+                    initializer=_pin_worker_threads,
                 )
             return self._pool
 
@@ -324,7 +360,13 @@ def parallel_recursive_bisection(
     depth = int(np.ceil(np.log2(nparts)))
     ub_level = float(ub) ** (1.0 / depth)
     own_pool = executor is None
-    pool = executor if executor is not None else ProcessPoolExecutor(max_workers=njobs)
+    pool = (
+        executor
+        if executor is not None
+        else ProcessPoolExecutor(
+            max_workers=njobs, initializer=_pin_worker_threads
+        )
+    )
     try:
         part = _drive_rb(
             "gp", g, nparts, ub_level, seed, pool, seed_scheme, None,
@@ -364,7 +406,13 @@ def parallel_hypergraph_recursive_bisection(
     ub_level = float(ub) ** (1.0 / depth)
     ideal = hg.total_weight()[0] / nparts
     own_pool = executor is None
-    pool = executor if executor is not None else ProcessPoolExecutor(max_workers=njobs)
+    pool = (
+        executor
+        if executor is not None
+        else ProcessPoolExecutor(
+            max_workers=njobs, initializer=_pin_worker_threads
+        )
+    )
     try:
         part = _drive_rb(
             "hp", hg, nparts, ub_level, seed, pool, seed_scheme, ideal,
@@ -462,7 +510,9 @@ def parallel_partition_sweep(
         for name, A, kind, nparts in specs:
             out[name] = partition_matrix(A, nparts, method=kind, seed=seed, ub=ub).part
         return out
-    with ProcessPoolExecutor(max_workers=njobs) as pool:
+    with ProcessPoolExecutor(
+        max_workers=njobs, initializer=_pin_worker_threads
+    ) as pool:
         threads = [
             Thread(
                 target=_sweep_one,

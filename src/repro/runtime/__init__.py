@@ -15,6 +15,14 @@ from .trace import CostLedger, FaultEvent, SPMV_PHASES, FAULT_PHASES
 from .distmatrix import DistSparseMatrix, DISTMATRIX_KERNELS, use_kernel
 from .distvector import DistVectorSpace
 from .engine import SpmvEngine, AbftCheck
+from .threads import (
+    THREAD_KERNELS,
+    ApplyPlan,
+    balanced_row_splits,
+    default_threads,
+    resolve_threads,
+    set_default_threads,
+)
 from .store import (
     ARTIFACT_SCHEMA,
     EngineKey,
@@ -59,6 +67,12 @@ __all__ = [
     "DistVectorSpace",
     "SpmvEngine",
     "AbftCheck",
+    "THREAD_KERNELS",
+    "ApplyPlan",
+    "balanced_row_splits",
+    "default_threads",
+    "resolve_threads",
+    "set_default_threads",
     "ARTIFACT_SCHEMA",
     "EngineKey",
     "EngineStore",

@@ -39,6 +39,19 @@ through the same two operators in one shot — k SpMVs for two CSR-times-
 dense calls — which is how the block Krylov-Schur solver amortizes index
 traffic over its block width. Column j equals ``spmv(X[:, j])`` exactly.
 
+Thread-parallel apply (:mod:`repro.runtime.threads`)
+----------------------------------------------------
+Each multiply can additionally fan out across cores: an
+:class:`~repro.runtime.threads.ApplyPlan` — nnz-balanced contiguous row
+blocks over each operator, computed once at build/load time and
+persisted through :meth:`to_arrays` — lets the ``threaded`` kernel run
+the row blocks on the shared GIL-releasing pool. Row-disjoint blocks
+write disjoint output slices in the same stored-entry order as the
+fused multiply, so the threaded kernel is **bit-identical** to the
+retained ``serial`` oracle (``np.array_equal``, gated corpus-wide by
+``BENCH_threads.json``); the ABFT checksum dots below ride the same
+discipline over the checksum operator's rows.
+
 ABFT checksums (Huang & Abraham 1984)
 -------------------------------------
 For fault tolerance the engine also precomputes *checksum vectors*: for
@@ -62,6 +75,10 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
+
+from ..perf import phase
+from . import threads as _threads
+from .threads import ApplyPlan
 
 __all__ = ["SpmvEngine", "AbftCheck"]
 
@@ -127,7 +144,7 @@ class SpmvEngine:
     no per-message Python work.
     """
 
-    def __init__(self, dist) -> None:
+    def __init__(self, dist, threads: int | None = None) -> None:
         vm = dist.vector_map
         p = dist.nprocs
         n = dist.n
@@ -183,6 +200,55 @@ class SpmvEngine:
         #: optional no-arg callback fired when the lazy ABFT operators
         #: materialize (the residency layer re-checks its byte budget)
         self.abft_listener = None
+        self._threads = _threads.resolve_threads(threads)
+        self._plans: dict[int, ApplyPlan] = {}
+        self._abft_plans: dict[int, tuple] = {}
+        self._plan()  # plan once at build time, never per multiply
+
+    # -- thread budget and apply plans ------------------------------------
+
+    @property
+    def threads(self) -> int:
+        """Current apply-thread budget (1 = serial fused multiply)."""
+        return self._threads
+
+    def set_threads(self, threads: int | None = None) -> int:
+        """Set the budget (None = process default, 0 = all cores).
+
+        Plans are cached per budget, so flipping between budgets — or
+        loading an artifact planned at a different budget — re-plans at
+        most once per distinct value (microseconds against ``indptr``).
+        Returns the resolved budget.
+        """
+        self._threads = _threads.resolve_threads(threads)
+        self._plan()
+        return self._threads
+
+    def _plan(self) -> ApplyPlan:
+        plan = self._plans.get(self._threads)
+        if plan is None:
+            plan = ApplyPlan.build(self._local, self._fold, self._threads)
+            self._plans[self._threads] = plan
+        return plan
+
+    def plan_stats(self) -> dict:
+        """Balance summary of the active plan (serve stats / benches)."""
+        return self._plan().stats()
+
+    def _apply(self, op, blocks, X: np.ndarray) -> np.ndarray:
+        """``op @ X``, fanned across row blocks when the budget allows."""
+        if (
+            self._threads <= 1
+            or len(blocks) <= 1
+            or _threads._resolve_kernel(None) != "threaded"
+        ):
+            return op @ X
+        out = np.empty(
+            (op.shape[0],) + X.shape[1:],
+            dtype=np.result_type(op.dtype, X.dtype),
+        )
+        _threads.run_blocks(blocks, X, out)
+        return out
 
     # -- (de)serialization -------------------------------------------------
 
@@ -198,12 +264,27 @@ class SpmvEngine:
         operators are deliberately excluded: they are derived purely
         from ``local`` and ``slot_rank``, so a loaded engine rebuilds
         them on first :meth:`abft_check` exactly as a compiled one does.
+        The active :class:`~repro.runtime.threads.ApplyPlan` splits *are*
+        included (with their budget as ``dims[6]``): planning is
+        deterministic, so persisting the splits makes warm loads at the
+        same budget pay no re-planning — and a load at a different
+        budget re-plans once, cheaply, rather than trusting a stale
+        blocking.
         """
+        plan = self._plan()
         return {
             "dims": np.array(
-                [self.n, self._nprocs, *self._local.shape, *self._fold.shape],
+                [
+                    self.n,
+                    self._nprocs,
+                    *self._local.shape,
+                    *self._fold.shape,
+                    self._threads,
+                ],
                 dtype=np.int64,
             ),
+            "plan_local_splits": np.asarray(plan.local_splits, dtype=np.int64),
+            "plan_fold_splits": np.asarray(plan.fold_splits, dtype=np.int64),
             "local_data": self._local.data,
             "local_indices": self._local.indices,
             "local_indptr": self._local.indptr,
@@ -223,7 +304,7 @@ class SpmvEngine:
         header parsing, not data movement.
         """
         dims = np.asarray(arrays["dims"], dtype=np.int64)
-        if dims.shape != (6,):
+        if dims.shape not in ((6,), (7,)):
             raise ValueError(f"bad dims member shape {dims.shape}")
         n, p = int(dims[0]), int(dims[1])
         eng = cls.__new__(cls)
@@ -248,6 +329,21 @@ class SpmvEngine:
             raise ValueError("slot_rank length inconsistent with local operator")
         eng._abft = None
         eng.abft_listener = None
+        eng._threads = _threads.resolve_threads(None)
+        eng._plans = {}
+        eng._abft_plans = {}
+        if dims.shape == (7,) and "plan_local_splits" in arrays:
+            # adopt the persisted plan under the budget it was planned
+            # for; the runtime budget still wins (a mismatch re-plans)
+            plan_threads = int(dims[6])
+            eng._plans[plan_threads] = ApplyPlan.from_splits(
+                eng._local,
+                eng._fold,
+                plan_threads,
+                arrays["plan_local_splits"],
+                arrays["plan_fold_splits"],
+            )
+        eng._plan()
         return eng
 
     @property
@@ -256,31 +352,39 @@ class SpmvEngine:
 
         The residency layer (:mod:`repro.serve.residency`) budgets its LRU
         by this number: the two CSR operators dominate a resident engine's
-        footprint, the lazily built ABFT operators are counted only once
-        they exist, and Python object overhead is ignored as noise.
+        footprint, the apply plans (split arrays plus each bound block's
+        small indptr — the entry arrays are zero-copy views and counted
+        once with their parent) ride along per cached budget, the lazily
+        built ABFT operators are counted only once they exist, and Python
+        object overhead is ignored as noise.
         """
         total = self._slot_rank.nbytes
-        ops = [self._local, self._fold]
-        if self._abft is not None:
-            ops.extend(self._abft[:2])
-        for op in ops:
+        for op in (self._local, self._fold):
             total += op.data.nbytes + op.indices.nbytes + op.indptr.nbytes
-        return int(total)
+        for plan in self._plans.values():
+            total += plan.nbytes
+        return int(total) + self.abft_bytes
 
     @property
     def abft_bytes(self) -> int:
-        """Bytes of the lazily built ABFT operators (0 until first use).
+        """Bytes of the lazily built ABFT state (0 until first use).
 
         Split out from :attr:`nbytes` so the residency layer can report
         how much of an entry's footprint appeared *after* admission —
         the accounting drift the post-materialization budget re-check
-        exists to correct.
+        exists to correct. Counts all three checksum operators (the
+        selector, weights, and |weights|) plus any checksum-row apply
+        plans, since every one of them is resident once built.
         """
         if self._abft is None:
             return 0
         total = 0
-        for op in self._abft[:2]:
+        for op in self._abft:
             total += op.data.nbytes + op.indices.nbytes + op.indptr.nbytes
+        for splits, e_blocks, eabs_blocks in self._abft_plans.values():
+            total += splits.nbytes
+            for _, _, block in (*e_blocks, *eabs_blocks):
+                total += block.indptr.nbytes
         return int(total)
 
     # -- ABFT checksums ----------------------------------------------------
@@ -312,6 +416,25 @@ class SpmvEngine:
                 self.abft_listener()
         return self._abft
 
+    def _abft_blocks(self) -> tuple:
+        """Row blocks of (E, Eabs) for the active budget, planned once.
+
+        The checksum dots ride the same nnz-balanced discipline as the
+        main operators: ``E`` and ``Eabs`` share structure, so one split
+        over ``E.indptr`` serves both.
+        """
+        entry = self._abft_plans.get(self._threads)
+        if entry is None:
+            _, E, Eabs = self._abft_operators()
+            splits = _threads.balanced_row_splits(E.indptr, self._threads)
+            entry = (
+                splits,
+                _threads.bind_blocks(E, splits),
+                _threads.bind_blocks(Eabs, splits),
+            )
+            self._abft_plans[self._threads] = entry
+        return entry
+
     def spmv_with_partials(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(y, partials)``: the result plus the pre-fold partial sums.
 
@@ -320,12 +443,17 @@ class SpmvEngine:
         partials``. The fault injector perturbs ``partials`` between the
         two stages to model corruption at specific pipeline points.
         """
-        partials = self._local @ x
-        return self._fold @ partials, partials
+        plan = self._plan()
+        with phase("engine.local"):
+            partials = self._apply(self._local, plan.local_blocks, x)
+        with phase("engine.fold"):
+            return self._apply(self._fold, plan.fold_blocks, partials), partials
 
     def fold(self, partials: np.ndarray) -> np.ndarray:
         """Fold + sum a (possibly perturbed) partial-sum buffer."""
-        return self._fold @ partials
+        plan = self._plan()
+        with phase("engine.fold"):
+            return self._apply(self._fold, plan.fold_blocks, partials)
 
     def abft_check(
         self,
@@ -345,9 +473,15 @@ class SpmvEngine:
         ``sum(y) == sum_r w_r @ x`` that catches fold-transit corruption.
         """
         S, E, Eabs = self._abft_operators()
-        observed = S @ partials
-        expected = E @ x
-        noise_scale = Eabs @ np.abs(x)
+        with phase("engine.abft"):
+            observed = S @ partials
+            if self._threads > 1 and _threads._resolve_kernel(None) == "threaded":
+                _, e_blocks, eabs_blocks = self._abft_blocks()
+                expected = self._apply(E, e_blocks, x)
+                noise_scale = self._apply(Eabs, eabs_blocks, np.abs(x))
+            else:
+                expected = E @ x
+                noise_scale = Eabs @ np.abs(x)
         disc = np.abs(observed - expected)
         threshold = rtol * (noise_scale + np.abs(observed))
         flagged = np.flatnonzero(disc > threshold)
@@ -368,14 +502,25 @@ class SpmvEngine:
         """``A @ x`` through the compiled four phases.
 
         *x* must be a float64 vector of length n (the caller validates).
+        With a thread budget > 1 the two multiplies fan out over the
+        plan's row blocks, bit-identical to the serial kernel.
         """
-        return self._fold @ (self._local @ x)
+        plan = self._plan()
+        with phase("engine.local"):
+            partials = self._apply(self._local, plan.local_blocks, x)
+        with phase("engine.fold"):
+            return self._apply(self._fold, plan.fold_blocks, partials)
 
     def spmm(self, X: np.ndarray) -> np.ndarray:
         """``A @ X`` for an (n, k) block — k SpMVs through one compiled pass.
 
         Column j of the result is bit-identical to ``spmv(X[:, j])``: CSR
         times a dense block performs each row-column accumulation in the
-        same stored-entry order as the matvec.
+        same stored-entry order as the matvec. Threading splits rows,
+        never columns, so the identity survives the threaded kernel.
         """
-        return self._fold @ (self._local @ X)
+        plan = self._plan()
+        with phase("engine.local"):
+            partials = self._apply(self._local, plan.local_blocks, X)
+        with phase("engine.fold"):
+            return self._apply(self._fold, plan.fold_blocks, partials)

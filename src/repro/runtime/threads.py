@@ -1,0 +1,402 @@
+"""nnz-balanced thread-parallel apply for the compiled SpMV engine.
+
+Every ``spmv``/``spmm`` in the engine is two scipy CSR multiplies, and
+scipy's CSR kernels release the GIL for the duration of the C loop — so
+a plain :class:`~concurrent.futures.ThreadPoolExecutor` over
+*row-disjoint* slices of each operator runs genuinely in parallel on a
+multicore host, with zero data movement (every block shares the parent
+operator's ``data``/``indices`` buffers and the same input vector).
+
+The split is Ahrens-style contiguous partitioning (PAPERS.md):
+:func:`balanced_row_splits` finds, by binary search over the bottleneck
+value with a greedy max-fill feasibility check, contiguous row blocks
+whose **maximum per-block nnz is minimal** over all contiguous
+partitions into at most that many blocks. nnz is the right weight
+because CSR multiply time is dominated by stored-entry traversal; the
+bottleneck (not the sum) is what bounds wall-clock when each block runs
+on its own thread.
+
+Bit-identity, not tolerance
+---------------------------
+A CSR multiply computes each output row independently: one sequential
+accumulation over that row's stored entries. Slicing rows neither
+reorders any row's entries nor shares any output element between
+blocks, so writing block results into disjoint slices of one output
+array reproduces the fused multiply **bit-for-bit** — tested and gated
+with ``np.array_equal``, never a tolerance. The serial fused multiply
+is retained as the oracle under the repo's dual-kernel convention:
+``THREAD_KERNELS = ("threaded", "serial")`` with :func:`use_kernel` to
+pin either side.
+
+Thread budget resolution
+------------------------
+``resolve_threads(None)`` consults, in order: a process-global override
+(:func:`set_default_threads`, set by the CLI ``--threads`` flags), the
+``REPRO_THREADS`` environment variable, then 1 (serial). ``0`` means
+"all cores". Process-pool workers (``repro.parallel``) pin the default
+to 1 so process- and thread-parallelism never nest.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "THREAD_KERNELS",
+    "use_kernel",
+    "ApplyPlan",
+    "balanced_row_splits",
+    "bind_blocks",
+    "block_nnz",
+    "default_threads",
+    "set_default_threads",
+    "resolve_threads",
+    "run_blocks",
+    "pool_stats",
+]
+
+#: Apply kernels, fast-first (the dual-kernel convention shared with
+#: ``distmatrix``/``coarsen``/``refine``): ``threaded`` dispatches
+#: nnz-balanced row blocks across the shared pool, ``serial`` is the
+#: fused single-multiply oracle the threaded path must match bit-for-bit.
+THREAD_KERNELS = ("threaded", "serial")
+
+_DEFAULT_KERNEL = THREAD_KERNELS[0]
+
+
+def _resolve_kernel(kernel: str | None) -> str:
+    k = _DEFAULT_KERNEL if kernel is None else kernel
+    if k not in THREAD_KERNELS:
+        raise ValueError(
+            f"unknown thread kernel {k!r}; expected one of {THREAD_KERNELS}"
+        )
+    return k
+
+
+@contextmanager
+def use_kernel(kernel: str):
+    """Temporarily pin the engine apply kernel (``threaded``/``serial``)."""
+    global _DEFAULT_KERNEL
+    prev = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = _resolve_kernel(kernel)
+    try:
+        yield
+    finally:
+        _DEFAULT_KERNEL = prev
+
+
+# -- thread-budget resolution ---------------------------------------------
+
+_DEFAULT_THREADS: int | None = None
+
+
+def _normalize(threads: int) -> int:
+    if threads <= 0:
+        return max(int(os.cpu_count() or 1), 1)
+    return int(threads)
+
+
+def set_default_threads(threads: int | None) -> None:
+    """Set the process-global thread budget (None restores env/serial)."""
+    global _DEFAULT_THREADS
+    _DEFAULT_THREADS = None if threads is None else _normalize(int(threads))
+
+
+def default_threads() -> int:
+    """Current default budget: override, else $REPRO_THREADS, else 1."""
+    if _DEFAULT_THREADS is not None:
+        return _DEFAULT_THREADS
+    env = os.environ.get("REPRO_THREADS", "").strip()
+    if env:
+        try:
+            return _normalize(int(env))
+        except ValueError:
+            return 1
+    return 1
+
+
+def resolve_threads(threads: int | None) -> int:
+    """An explicit budget (0 = all cores) or the process default."""
+    return default_threads() if threads is None else _normalize(int(threads))
+
+
+# -- the row-split primitive ----------------------------------------------
+
+
+def _greedy_cuts(indptr: np.ndarray, nblocks: int, bound: int) -> list[int] | None:
+    """Max-fill cuts covering all rows with per-block nnz <= *bound*.
+
+    Greedy is exact for feasibility: if any contiguous partition into at
+    most *nblocks* blocks respects *bound*, extending every block as far
+    as *bound* allows does too. Returns None when infeasible.
+    """
+    nrows = len(indptr) - 1
+    cuts = [0]
+    row = 0
+    for _ in range(nblocks):
+        if row >= nrows:
+            break
+        nxt = int(np.searchsorted(indptr, indptr[row] + bound, side="right")) - 1
+        if nxt <= row:
+            return None  # a single row exceeds the bound
+        row = min(nxt, nrows)
+        cuts.append(row)
+    return cuts if row >= nrows else None
+
+
+def balanced_row_splits(indptr, nblocks: int) -> np.ndarray:
+    """Bottleneck-optimal contiguous row splits over a CSR ``indptr``.
+
+    Returns an int64 array ``s`` with ``s[0] == 0``, ``s[-1] == nrows``,
+    strictly increasing in between: block i is rows ``s[i]:s[i+1]``.
+    Among all partitions of the rows into at most *nblocks* contiguous
+    blocks, the returned one minimizes the maximum per-block nnz
+    (Ahrens' bottleneck objective), found by binary search over the
+    bottleneck value with a greedy feasibility check — O(nblocks ·
+    log(nrows) · log(nnz)), negligible next to operator compile time.
+
+    Degenerate shapes are fine: empty rows ride along with their
+    predecessor block, a single hub row larger than ``nnz/nblocks``
+    becomes its own bottleneck block, fewer rows (or less nnz) than
+    blocks simply yields fewer blocks, and ``nblocks=1`` returns the
+    trivial split. The function is deterministic — a pure function of
+    ``indptr`` and *nblocks* — which is what lets plans persist through
+    the artifact store and verify byte-equal on reload.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr.ndim != 1 or len(indptr) < 1:
+        raise ValueError("indptr must be a 1-d prefix array")
+    nrows = len(indptr) - 1
+    nblocks = int(nblocks)
+    if nblocks < 1:
+        raise ValueError(f"nblocks must be >= 1, got {nblocks}")
+    if nrows <= 0:
+        return np.array([0, 0], dtype=np.int64)
+    if nblocks == 1:
+        return np.array([0, nrows], dtype=np.int64)
+    total = int(indptr[-1]) - int(indptr[0])
+    max_row = int(np.max(np.diff(indptr)))
+    lo = max((total + nblocks - 1) // nblocks, max_row)
+    hi = max(total, lo)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _greedy_cuts(indptr, nblocks, mid) is None:
+            lo = mid + 1
+        else:
+            hi = mid
+    cuts = _greedy_cuts(indptr, nblocks, lo)
+    assert cuts is not None  # lo is feasible by construction
+    return np.asarray(cuts, dtype=np.int64)
+
+
+def block_nnz(indptr, splits) -> np.ndarray:
+    """Per-block stored-entry counts for *splits* over *indptr*."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    splits = np.asarray(splits, dtype=np.int64)
+    return indptr[splits[1:]] - indptr[splits[:-1]]
+
+
+def _validate_splits(M: sp.csr_matrix, splits: np.ndarray) -> np.ndarray:
+    splits = np.asarray(splits, dtype=np.int64)
+    if (
+        splits.ndim != 1
+        or len(splits) < 2
+        or int(splits[0]) != 0
+        or int(splits[-1]) != M.shape[0]
+        or np.any(np.diff(splits) < 0)
+    ):
+        raise ValueError(f"invalid row splits for {M.shape[0]}-row operator")
+    return splits
+
+
+def _csr_row_block(M: sp.csr_matrix, r0: int, r1: int) -> sp.csr_matrix:
+    """Rows ``r0:r1`` of *M* as a CSR sharing its data/indices buffers.
+
+    Only the (small) per-block indptr is materialized; the entry arrays
+    are slices of the parent's — read-only/mmapped parents included,
+    since the multiply kernels never mutate operator storage.
+    """
+    p0 = int(M.indptr[r0])
+    block = sp.csr_matrix((r1 - r0, M.shape[1]))
+    block.data = M.data[p0 : int(M.indptr[r1])]
+    block.indices = M.indices[p0 : int(M.indptr[r1])]
+    block.indptr = M.indptr[r0 : r1 + 1] - p0
+    return block
+
+
+def bind_blocks(
+    M: sp.csr_matrix, splits: np.ndarray
+) -> list[tuple[int, int, sp.csr_matrix]]:
+    """``(r0, r1, rows r0:r1 of M)`` per split block, zero-copy."""
+    return [
+        (int(r0), int(r1), _csr_row_block(M, int(r0), int(r1)))
+        for r0, r1 in zip(splits[:-1], splits[1:])
+    ]
+
+
+class ApplyPlan:
+    """nnz-balanced row blocking of one engine's two compiled operators.
+
+    Computed once at engine build/load time (never per multiply) and
+    persisted through ``SpmvEngine.to_arrays`` and the artifact store,
+    so warm loads at the same thread budget pay no re-planning. The
+    bound block operators are zero-copy row views; :attr:`nbytes`
+    reports only what the plan actually allocates (the split arrays and
+    each block's small indptr) so residency byte budgets stay honest.
+    """
+
+    __slots__ = (
+        "threads",
+        "local_splits",
+        "fold_splits",
+        "local_blocks",
+        "fold_blocks",
+    )
+
+    def __init__(self, threads, local_splits, fold_splits, local_blocks, fold_blocks):
+        self.threads = int(threads)
+        self.local_splits = local_splits
+        self.fold_splits = fold_splits
+        self.local_blocks = local_blocks
+        self.fold_blocks = fold_blocks
+
+    @classmethod
+    def build(
+        cls, local: sp.csr_matrix, fold: sp.csr_matrix, threads: int
+    ) -> "ApplyPlan":
+        """Plan *threads* bottleneck-balanced blocks per operator."""
+        t = max(int(threads), 1)
+        ls = balanced_row_splits(local.indptr, t)
+        fs = balanced_row_splits(fold.indptr, t)
+        return cls(t, ls, fs, bind_blocks(local, ls), bind_blocks(fold, fs))
+
+    @classmethod
+    def from_splits(
+        cls,
+        local: sp.csr_matrix,
+        fold: sp.csr_matrix,
+        threads: int,
+        local_splits,
+        fold_splits,
+    ) -> "ApplyPlan":
+        """Adopt persisted splits (validated; raises ValueError if torn)."""
+        ls = _validate_splits(local, local_splits)
+        fs = _validate_splits(fold, fold_splits)
+        return cls(
+            max(int(threads), 1),
+            ls,
+            fs,
+            bind_blocks(local, ls),
+            bind_blocks(fold, fs),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the plan allocates beyond the parent operators."""
+        total = self.local_splits.nbytes + self.fold_splits.nbytes
+        for blocks in (self.local_blocks, self.fold_blocks):
+            for _, _, block in blocks:
+                total += block.indptr.nbytes
+        return int(total)
+
+    def stats(self) -> dict:
+        """Balance summary (bench/serve-stats view)."""
+
+        def side(splits, blocks):
+            nnz = [int(b.nnz) for _, _, b in blocks]
+            bottleneck = max(nnz) if nnz else 0
+            balance = 1.0
+            if bottleneck:
+                balance = round(sum(nnz) / (self.threads * bottleneck), 4)
+            return {
+                "blocks": len(blocks),
+                "total_nnz": sum(nnz),
+                "bottleneck_nnz": bottleneck,
+                "balance": balance,
+            }
+
+        return {
+            "threads": self.threads,
+            "local": side(self.local_splits, self.local_blocks),
+            "fold": side(self.fold_splits, self.fold_blocks),
+        }
+
+
+# -- the shared pool -------------------------------------------------------
+
+
+class _Pool:
+    """Process-wide grow-only thread pool for block multiplies.
+
+    One pool serves every engine in the process (pool threads are cheap
+    but not free; resident engines would otherwise each hold their
+    own). It is sized to ``threads - 1`` workers because the caller's
+    thread always executes the final block inline — at budget T the
+    multiply occupies exactly T OS threads with one fewer handoff.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._workers = 0
+        self.dispatches = 0
+        self.block_tasks = 0
+
+    def _ensure(self, workers: int) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None or self._workers < workers:
+                old = self._executor
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-apply"
+                )
+                self._workers = workers
+                if old is not None:
+                    # in-flight work still completes; new submits go to
+                    # the grown pool
+                    old.shutdown(wait=False)
+            return self._executor
+
+    def run(self, tasks) -> None:
+        ex = self._ensure(max(len(tasks) - 1, 1))
+        with self._lock:
+            self.dispatches += 1
+            self.block_tasks += len(tasks)
+        futures = [ex.submit(t) for t in tasks[:-1]]
+        tasks[-1]()
+        for f in futures:
+            f.result()
+
+
+_POOL = _Pool()
+
+
+def run_blocks(blocks, X: np.ndarray, out: np.ndarray) -> None:
+    """``out[r0:r1] = M @ X`` for every bound block, in parallel.
+
+    scipy's CSR multiply releases the GIL, the blocks are row-disjoint,
+    and each writes only its own slice of *out* — no synchronization
+    beyond joining the futures, and bit-identical to the fused multiply.
+    """
+
+    def task(r0: int, r1: int, M: sp.csr_matrix):
+        def _run() -> None:
+            out[r0:r1] = M @ X
+
+        return _run
+
+    _POOL.run([task(r0, r1, M) for r0, r1, M in blocks])
+
+
+def pool_stats() -> dict:
+    """Shared-pool counters for serve ``stats`` and the benches."""
+    return {
+        "workers": _POOL._workers,
+        "dispatches": _POOL.dispatches,
+        "block_tasks": _POOL.block_tasks,
+    }

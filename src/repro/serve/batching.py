@@ -19,10 +19,15 @@ A batch flushes on whichever trigger fires first:
 * **deadline** — ``deadline_s`` elapsed since the batch opened, so a
   lone request never waits for company that is not coming.
 
-Flushes run inline on the event loop. That is deliberate: scipy's
-sparse kernels hold the GIL, so a thread pool would add handoff latency
-without adding overlap, and inline execution keeps the
-arrival -> batch -> compute -> respond ordering deterministic.
+Flushes run inline on the event loop. That is deliberate: it keeps the
+arrival -> batch -> compute -> respond ordering deterministic, and the
+engine parallelizes *inside* the flush — with a thread budget
+(``ServeConfig.engine_threads``) the fused multiply fans out over the
+engine's nnz-balanced row blocks on the shared GIL-releasing pool
+(:mod:`repro.runtime.threads`; scipy's CSR kernels release the GIL for
+the C loop), still bit-identical to the serial kernel. Batching gives
+the threads a k-wide block to chew on, so the two optimizations
+compound rather than compete.
 """
 
 from __future__ import annotations

@@ -42,6 +42,7 @@ from repro.serve import (
     ServeConfig,
     start_in_thread,
 )
+from repro.runtime import threads as thread_kernels
 from repro.serve.loadgen import reference_engine, run_loadgen
 from repro.serve.protocol import decode_vector, encode_message, encode_vector
 from repro.serve.residency import EngineKey, EngineResidency, ResidentEngine
@@ -892,3 +893,46 @@ def test_server_handle_stop_raises_on_hung_thread():
     handle = ServerHandle(StuckServer(), HungThread(), DeadLoop())
     with pytest.raises(RuntimeError, match="hung shutdown"):
         handle.stop(timeout=0.01)
+
+
+def test_threaded_server_with_worker_pool_bit_identical(serve_env):
+    """Oversubscription-guard regression: engine_threads + pool_workers.
+
+    A server running a multi-threaded apply budget *and* a process pool
+    for cold partitions must still answer bit-identically to the serial
+    reference engine — the threaded kernel is exact, and pool workers
+    pin their own budgets to 1 rather than nesting thread pools.
+    """
+    sock = os.path.join(serve_env["tmp"], "thr.sock")
+    config = ServeConfig(
+        socket_path=sock,
+        max_batch=8,
+        batch_deadline_ms=1.0,
+        pool_workers=2,
+        engine_threads=4,
+    )
+    handle = start_in_thread(config)
+    try:
+        n = serve_env["A"].shape[0]
+        engine, _ = reference_engine(serve_env["mtx"], "2d-gp", PROCS, 0)
+        with ServeClient(sock, timeout=300.0) as c:
+            xs = [
+                np.random.default_rng(400 + i).standard_normal(n)
+                for i in range(6)
+            ]
+            for x in xs:
+                resp, y = _matvec(c, serve_env, x)
+                assert resp["ok"], resp.get("error")
+                with thread_kernels.use_kernel("serial"):
+                    assert np.array_equal(y, engine.spmv(x))
+            health, _ = c.request({"op": "health"})
+            assert health["engine_threads"] == 4
+            stats, _ = c.request({"op": "stats"})
+            assert stats["threads"]["engine_threads"] == 4
+            entry = stats["resident"][0]
+            assert entry["threads"] == 4
+            assert entry["plan"]["local"]["blocks"] >= 1
+    finally:
+        with ServeClient(sock, timeout=10.0) as c:
+            c.request({"op": "shutdown"})
+        handle.stop()
